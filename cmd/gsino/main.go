@@ -1,0 +1,84 @@
+// Command gsino runs the paper's routing flows on a benchmark circuit and
+// prints the evaluation metrics (violating nets, average wirelength,
+// routing area).
+//
+// Usage:
+//
+//	gsino -circuit ibm01 -flows ID+NO,iSINO,GSINO -rate 0.3 -scale 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ibm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gsino: ")
+	circuit := flag.String("circuit", "ibm01", "benchmark circuit (ibm01..ibm06)")
+	flows := flag.String("flows", "ID+NO,iSINO,GSINO", "comma-separated flows to run")
+	rate := flag.Float64("rate", 0.30, "sensitivity rate (paper: 0.30 and 0.50)")
+	scale := flag.Int("scale", 1, "divide net count and capacities by this factor")
+	seed := flag.Int64("seed", 1, "benchmark generation seed")
+	vth := flag.Float64("vth", 0.15, "crosstalk constraint, volts")
+	verbose := flag.Bool("v", false, "print congestion statistics per flow")
+	congBudget := flag.Bool("congestion-budget", false, "use congestion-weighted crosstalk budgeting in GSINO (paper §5 future work)")
+	flag.Parse()
+
+	profile, err := ibm.ProfileByName(*circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ckt, err := ibm.Generate(profile, ibm.Options{Seed: *seed, Scale: *scale, SensRate: *rate})
+	if err != nil {
+		log.Fatal(err)
+	}
+	design := &core.Design{
+		Name: profile.Name,
+		Nets: ckt.Nets,
+		Grid: ckt.Grid,
+		Rate: *rate,
+	}
+	runner, err := core.NewRunner(design, core.Params{VThreshold: *vth, CongestionBudgeting: *congBudget})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d nets, %dx%d regions (HC=%d VC=%d), rate %.0f%%, scale %d\n",
+		profile.Name, len(ckt.Nets.Nets), ckt.Grid.Cols, ckt.Grid.Rows, ckt.Grid.HC, ckt.Grid.VC,
+		*rate*100, ckt.Scale)
+	fmt.Printf("%-7s %10s %8s %10s %14s %9s %8s %9s\n",
+		"flow", "violations", "viol%", "avgWL(um)", "area(um x um)", "area+%", "shields", "runtime")
+
+	var base *core.Outcome
+	for _, name := range strings.Split(*flows, ",") {
+		f := core.Flow(strings.TrimSpace(name))
+		out, err := runner.Run(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if f == core.FlowIDNO {
+			base = out
+		}
+		areaPct := "-"
+		if base != nil && f != core.FlowIDNO {
+			areaPct = fmt.Sprintf("%.2f%%", out.AreaOverheadPct(base))
+		}
+		fmt.Printf("%-7s %10d %7.2f%% %10.1f %14s %9s %8d %9s\n",
+			out.Flow, out.Violations, out.ViolationPct, float64(out.AvgWL),
+			out.Area.String(), areaPct, out.Shields, out.Runtime.Round(1e6))
+		if *verbose {
+			c := out.Congestion
+			fmt.Printf("        density avg H/V %.2f/%.2f, max %.2f/%.2f, overflowed regions %d/%d, segs %d\n",
+				c.AvgHDensity, c.AvgVDensity, c.MaxH, c.MaxV, c.OverflowedH, c.OverflowedV, out.SegTracks)
+		}
+		if f == core.FlowGSINO && out.Unfixable > 0 {
+			fmt.Printf("        (GSINO: %d violations unfixable at the K floor)\n", out.Unfixable)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command tables regenerates the paper's evaluation tables (Tables 1–3 of
+// Ma & He, DAC'02) by running the three flows — ID+NO, iSINO, GSINO — over
+// the benchmark circuits at both sensitivity rates, and prints measured
+// numbers next to the published ones.
+//
+// Usage:
+//
+//	tables                         # all circuits, scale 4
+//	tables -circuits ibm01,ibm02   # a subset
+//	tables -scale 1                # full-scale (paper-comparable, slow)
+//	tables -csv results.csv        # also dump raw outcomes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ibm"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	circuits := flag.String("circuits", "ibm01,ibm02,ibm03,ibm04,ibm05,ibm06", "circuits to run")
+	scale := flag.Int("scale", 4, "benchmark scale divisor (1 = full, paper-comparable)")
+	seed := flag.Int64("seed", 1, "benchmark generation seed")
+	csvPath := flag.String("csv", "", "also write raw outcomes to this CSV file")
+	flag.Parse()
+
+	set := report.NewSet()
+	for _, name := range strings.Split(*circuits, ",") {
+		name = strings.TrimSpace(name)
+		profile, err := ibm.ProfileByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, rate := range []float64{0.3, 0.5} {
+			ckt, err := ibm.Generate(profile, ibm.Options{Seed: *seed, Scale: *scale, SensRate: rate})
+			if err != nil {
+				log.Fatal(err)
+			}
+			design := &core.Design{Name: profile.Name, Nets: ckt.Nets, Grid: ckt.Grid, Rate: rate}
+			runner, err := core.NewRunner(design, core.Params{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, f := range []core.Flow{core.FlowIDNO, core.FlowISINO, core.FlowGSINO} {
+				start := time.Now()
+				out, err := runner.Run(f)
+				if err != nil {
+					log.Fatal(err)
+				}
+				set.Add(out)
+				fmt.Fprintf(os.Stderr, "ran %s %s @%.0f%% in %s (%d violations)\n",
+					name, f, rate*100, time.Since(start).Round(time.Millisecond), out.Violations)
+			}
+		}
+	}
+
+	fmt.Println()
+	set.Table1(os.Stdout)
+	fmt.Println()
+	set.Table2(os.Stdout)
+	fmt.Println()
+	set.Table3(os.Stdout)
+	fmt.Println()
+	set.Deltas(os.Stdout)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set.CSV(f)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,57 @@
+// Fullchip runs the paper's three routing flows on an ibm01-scale synthetic
+// circuit at both sensitivity rates and prints miniature versions of the
+// paper's Tables 1-3 with the published numbers alongside.
+//
+//	go run ./examples/fullchip          # scale 8 (seconds)
+//	go run ./examples/fullchip -scale 1 # full scale (paper-comparable)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ibm"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Int("scale", 8, "benchmark scale divisor")
+	flag.Parse()
+
+	profile, err := ibm.ProfileByName("ibm01")
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := report.NewSet()
+	for _, rate := range []float64{0.3, 0.5} {
+		ckt, err := ibm.Generate(profile, ibm.Options{Seed: 1, Scale: *scale, SensRate: rate})
+		if err != nil {
+			log.Fatal(err)
+		}
+		design := &core.Design{Name: profile.Name, Nets: ckt.Nets, Grid: ckt.Grid, Rate: rate}
+		runner, err := core.NewRunner(design, core.Params{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range []core.Flow{core.FlowIDNO, core.FlowISINO, core.FlowGSINO} {
+			out, err := runner.Run(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			set.Add(out)
+			fmt.Printf("%s @%.0f%%: %d violations, avg WL %.0f um, area %s (%s)\n",
+				f, rate*100, out.Violations, float64(out.AvgWL), out.Area, out.Runtime.Round(1e6))
+		}
+	}
+
+	fmt.Println()
+	set.Table1(os.Stdout)
+	fmt.Println()
+	set.Table2(os.Stdout)
+	fmt.Println()
+	set.Table3(os.Stdout)
+}

@@ -1,0 +1,194 @@
+// Package core assembles the paper's three full-chip routing flows:
+//
+//   - GSINO — the paper's contribution (§3): crosstalk budgeting (Phase I)
+//     feeding a shield-aware iterative-deletion router, SINO inside every
+//     routing region (Phase II), and two-pass local refinement (Phase III,
+//     Figure 2).
+//   - iSINO — baseline: the same router without shield-area awareness,
+//     followed by SINO per region.
+//   - ID+NO — baseline: the same router followed by net ordering only,
+//     which is blind to inductive crosstalk (Table 1's violating flow).
+//
+// The outcome of a flow carries the paper's three reported metrics:
+// crosstalk-violating net counts (Table 1), average wirelength (Table 2),
+// and routing area (Table 3).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/keff"
+	"repro/internal/netlist"
+	"repro/internal/sino"
+	"repro/internal/tech"
+)
+
+// Flow names a routing approach.
+type Flow string
+
+// The three flows of the paper's evaluation (§4).
+const (
+	FlowIDNO  Flow = "ID+NO"
+	FlowISINO Flow = "iSINO"
+	FlowGSINO Flow = "GSINO"
+)
+
+// Params carries the technology and algorithm knobs shared by all flows.
+// The zero value selects the paper's defaults everywhere.
+type Params struct {
+	Tech  *tech.Technology // nil → tech.Default()
+	Table *keff.Table      // nil → keff.DefaultTable()
+
+	// VThreshold is the sink crosstalk constraint; 0 → 0.15 V (paper §4).
+	VThreshold float64
+
+	// Alpha, Beta, Gamma are the ID weight constants; zeros → 2, 1, 50.
+	Alpha, Beta, Gamma float64
+
+	// Coeffs are the Formula (3) coefficients; zero → fitted defaults.
+	Coeffs sino.ShieldCoeffs
+
+	// KFloor is the tightest per-segment bound budgeting may issue;
+	// 0 → 0.05.
+	KFloor float64
+
+	// RefineShrink is Phase III pass 1's multiplicative Kth reduction per
+	// added shield allowance; 0 → 0.7.
+	RefineShrink float64
+
+	// CongestionBudgeting enables the §5 future-work budgeting policy in
+	// GSINO: after uniform Phase I partitioning, each net's budget is
+	// redistributed across its regions in proportion to local congestion.
+	CongestionBudgeting bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.Tech == nil {
+		p.Tech = tech.Default()
+	}
+	if p.Table == nil {
+		p.Table = keff.DefaultTable()
+	}
+	if p.VThreshold == 0 {
+		p.VThreshold = 0.15
+	}
+	if p.Alpha == 0 && p.Beta == 0 && p.Gamma == 0 {
+		p.Alpha, p.Beta, p.Gamma = 2, 1, 50
+	}
+	if p.Coeffs == (sino.ShieldCoeffs{}) {
+		p.Coeffs = sino.DefaultShieldCoeffs()
+	}
+	if p.KFloor == 0 {
+		p.KFloor = 0.05
+	}
+	if p.RefineShrink == 0 {
+		p.RefineShrink = 0.7
+	}
+	return p
+}
+
+// Design is the routing problem: a placed netlist on a region grid.
+type Design struct {
+	Name string
+	Nets *netlist.Netlist
+	Grid *grid.Grid
+	Rate float64 // the experiment's sensitivity rate (reporting only)
+}
+
+// Outcome reports one flow's results in the paper's metrics.
+type Outcome struct {
+	Flow   Flow
+	Design string
+	Rate   float64
+
+	TotalNets    int
+	Violations   int     // nets whose LSK noise exceeds the threshold
+	ViolationPct float64 // Violations/TotalNets × 100 (Table 1)
+
+	AvgWL   geom.Micron // average routed wirelength per net (Table 2)
+	TotalWL geom.Micron
+
+	Area        grid.Area // expanded routing area (Table 3)
+	NominalArea grid.Area // the unexpanded chip
+
+	Shields     int // total shield tracks inserted
+	SegTracks   int // total signal track segments
+	Refinements int // Phase III pass-1 SINO re-runs (GSINO only)
+	Unfixable   int // violating nets Phase III could not repair
+
+	Congestion grid.CongestionStats // of the final (shields included) usage
+
+	Runtime time.Duration
+}
+
+// AreaOverheadPct returns the percentage area increase of o versus base —
+// how Table 3's parenthesized numbers are computed.
+func (o *Outcome) AreaOverheadPct(base *Outcome) float64 {
+	b := base.Area.Product()
+	if b == 0 {
+		return 0
+	}
+	return (o.Area.Product() - b) / b * 100
+}
+
+// WLOverheadPct returns the percentage wirelength increase versus base —
+// Table 2's parenthesized numbers.
+func (o *Outcome) WLOverheadPct(base *Outcome) float64 {
+	if base.TotalWL == 0 {
+		return 0
+	}
+	return float64(o.TotalWL-base.TotalWL) / float64(base.TotalWL) * 100
+}
+
+// Runner executes flows over one design.
+type Runner struct {
+	params Params
+	design *Design
+
+	model    *keff.Model
+	budgeter *budget.Budgeter
+	sens     netlist.Sensitivity
+}
+
+// NewRunner validates the design and prepares shared state.
+func NewRunner(d *Design, p Params) (*Runner, error) {
+	if d == nil || d.Nets == nil || d.Grid == nil {
+		return nil, fmt.Errorf("core: incomplete design")
+	}
+	if err := d.Nets.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	if err := p.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	b := &budget.Budgeter{Table: p.Table, VThreshold: p.VThreshold, KFloor: p.KFloor}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{
+		params:   p,
+		design:   d,
+		model:    keff.NewModel(p.Tech),
+		budgeter: b,
+		sens:     d.Nets.Sensitivity,
+	}, nil
+}
+
+// Run executes the named flow.
+func (r *Runner) Run(f Flow) (*Outcome, error) {
+	switch f {
+	case FlowIDNO:
+		return r.runIDNO()
+	case FlowISINO:
+		return r.runISINO()
+	case FlowGSINO:
+		return r.runGSINO()
+	default:
+		return nil, fmt.Errorf("core: unknown flow %q", f)
+	}
+}

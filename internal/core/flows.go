@@ -1,0 +1,60 @@
+package core
+
+import "time"
+
+// runIDNO is the conventional baseline: wirelength/congestion-driven ID
+// routing (no shield reservation), then net ordering only in each region.
+// It is blind to inductive crosstalk — the flow whose violations Table 1
+// counts.
+func (r *Runner) runIDNO() (*Outcome, error) {
+	start := time.Now()
+	res, err := r.routeAll(false)
+	if err != nil {
+		return nil, err
+	}
+	st := r.buildState(res, budgetManhattan)
+	st.solveAll(true)
+	o := st.outcome(FlowIDNO)
+	o.Runtime = time.Since(start)
+	return o, nil
+}
+
+// runISINO routes exactly like ID+NO, then applies full SINO inside every
+// region with tree-length budgets. Routing is identical, so the wirelength
+// matches ID+NO; the shields inflate the routing area (Table 3's iSINO
+// column).
+func (r *Runner) runISINO() (*Outcome, error) {
+	start := time.Now()
+	res, err := r.routeAll(false)
+	if err != nil {
+		return nil, err
+	}
+	st := r.buildState(res, budgetTreeLength)
+	st.solveAll(false)
+	o := st.outcome(FlowISINO)
+	o.Runtime = time.Since(start)
+	return o, nil
+}
+
+// runGSINO is the paper's three-phase algorithm: Phase I budgets crosstalk
+// uniformly over Manhattan distances and routes with shield-aware weights;
+// Phase II solves SINO in every region; Phase III locally refines — first
+// eliminating the (detour-induced) violations, then clawing back congestion.
+func (r *Runner) runGSINO() (*Outcome, error) {
+	start := time.Now()
+	res, err := r.routeAll(true) // Phase I
+	if err != nil {
+		return nil, err
+	}
+	st := r.buildState(res, budgetManhattan)
+	if r.params.CongestionBudgeting {
+		st.redistributeByCongestion()
+	}
+	st.solveAll(false)   // Phase II
+	refts := st.refine() // Phase III
+	o := st.outcome(FlowGSINO)
+	o.Refinements = refts.resolves
+	o.Unfixable = refts.unfixable
+	o.Runtime = time.Since(start)
+	return o, nil
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/route"
+	"repro/internal/sino"
+)
+
+// instKey addresses one SINO instance: a region's track stack in one
+// routing direction.
+type instKey struct {
+	region int
+	horz   bool
+}
+
+// segTerm is one net's presence in one instance.
+type segTerm struct {
+	inst *regionInst
+	seg  int // index within the instance
+}
+
+// regionInst is the mutable per-region-direction state shared by Phase II
+// and Phase III.
+type regionInst struct {
+	key  instKey
+	segs []sino.Seg    // segment list (Kth mutable during refinement)
+	lens []geom.Micron // per-segment length inside this region
+	nets []int         // global net id per segment
+
+	sol *sino.Solution
+	k   []float64 // per-segment total coupling under sol
+}
+
+// chipState is a routed, SINO-solved chip.
+type chipState struct {
+	r      *Runner
+	trees  []route.Tree
+	wl     []geom.Micron // per net routed wirelength
+	insts  map[instKey]*regionInst
+	orderd []*regionInst // deterministic iteration order
+
+	terms  [][]segTerm // per net: its instance memberships
+	lskb   []float64   // per net LSK budget
+	routed *route.Result
+}
+
+// netsForRouting converts the netlist into router requests.
+func (r *Runner) netsForRouting() []route.Net {
+	g := r.design.Grid
+	nets := r.design.Nets.Nets
+	out := make([]route.Net, len(nets))
+	for i := range nets {
+		pins := make([]geom.Point, len(nets[i].Pins))
+		for j, p := range nets[i].Pins {
+			pins[j] = g.RegionOf(p.Loc)
+		}
+		out[i] = route.Net{ID: i, Pins: pins, Rate: r.sens.Rate(i)}
+	}
+	return out
+}
+
+// routeAll runs the ID router.
+func (r *Runner) routeAll(shieldAware bool) (*route.Result, error) {
+	cfg := route.Config{
+		Alpha: r.params.Alpha, Beta: r.params.Beta, Gamma: r.params.Gamma,
+		ShieldAware: shieldAware,
+		Coeffs:      r.params.Coeffs,
+	}
+	router, err := route.NewRouter(r.design.Grid, cfg, r.netsForRouting())
+	if err != nil {
+		return nil, err
+	}
+	return router.Run(), nil
+}
+
+// budgetMode selects how per-segment bounds are derived.
+type budgetMode int
+
+const (
+	// budgetManhattan is Phase I's uniform partitioning over the
+	// source→sink Manhattan distance (GSINO; optimistic under detours).
+	budgetManhattan budgetMode = iota
+	// budgetTreeLength budgets over the actual routed tree length (iSINO,
+	// which has no refinement phase to clean up optimism).
+	budgetTreeLength
+)
+
+// redistributeByCongestion implements the paper's §5 future-work idea of
+// non-uniform crosstalk budgeting: each net's LSK budget is re-partitioned
+// across its regions in proportion to local congestion, so congested
+// regions receive loose bounds (few shields, which would not fit) and
+// quiet regions absorb the tight ones (shields are cheap there). The
+// redistribution preserves the net's total budget: Σ l_r·Kth_r stays at
+// the uniform partition's level.
+func (st *chipState) redistributeByCongestion() {
+	g := st.r.design.Grid
+	for net := range st.terms {
+		terms := st.terms[net]
+		if len(terms) < 2 {
+			continue
+		}
+		var weighted, uniformTotal float64
+		phis := make([]float64, len(terms))
+		for i, t := range terms {
+			var den float64
+			if t.inst.key.horz {
+				den = float64(len(t.inst.segs)) / float64(g.HC)
+			} else {
+				den = float64(len(t.inst.segs)) / float64(g.VC)
+			}
+			phis[i] = 0.5 + den // congested regions earn looser bounds
+			l := float64(t.inst.lens[t.seg])
+			weighted += l * phis[i]
+			uniformTotal += l * t.inst.segs[t.seg].Kth
+		}
+		if weighted <= 0 {
+			continue
+		}
+		scale := uniformTotal / weighted
+		for i, t := range terms {
+			t.inst.segs[t.seg].Kth = st.r.budgeter.Clamp(phis[i] * scale)
+		}
+	}
+}
+
+// buildState maps routed trees into per-region SINO instances.
+func (r *Runner) buildState(res *route.Result, mode budgetMode) *chipState {
+	g := r.design.Grid
+	nets := r.design.Nets.Nets
+	st := &chipState{
+		r:      r,
+		trees:  res.Trees,
+		wl:     make([]geom.Micron, len(nets)),
+		insts:  make(map[instKey]*regionInst),
+		terms:  make([][]segTerm, len(nets)),
+		lskb:   make([]float64, len(nets)),
+		routed: res,
+	}
+
+	for i := range nets {
+		tree := &res.Trees[i]
+		st.wl[i] = tree.WirelengthUM(g)
+		st.lskb[i] = r.budgeter.LSKBudget(i)
+
+		var kth float64
+		switch mode {
+		case budgetManhattan:
+			kth = r.budgeter.UniformNet(&nets[i])
+		case budgetTreeLength:
+			kth = r.budgeter.ForLength(i, st.wl[i])
+		}
+
+		// Per-region incidence counts: half of each incident edge's length
+		// lies inside the region.
+		hInc := make(map[geom.Point]int)
+		vInc := make(map[geom.Point]int)
+		for _, e := range tree.Edges {
+			if e.Horizontal() {
+				hInc[e.From]++
+				hInc[e.To]++
+			} else {
+				vInc[e.From]++
+				vInc[e.To]++
+			}
+		}
+		if len(tree.Edges) == 0 {
+			// Intra-region net: a short horizontal stub spanning its pins.
+			span := nets[i].PinSpread()
+			if span <= 0 {
+				continue // coincident pins carry no coupling length
+			}
+			st.wl[i] = span
+			p := tree.Regions[0]
+			st.addSeg(st.inst(instKey{g.Index(p), true}), i, span, r.budgeter.ForLength(i, span))
+			continue
+		}
+		for p, inc := range hInc {
+			l := geom.Micron(float64(inc) / 2 * float64(g.CellW))
+			st.addSeg(st.inst(instKey{g.Index(p), true}), i, l, kth)
+		}
+		for p, inc := range vInc {
+			l := geom.Micron(float64(inc) / 2 * float64(g.CellH))
+			st.addSeg(st.inst(instKey{g.Index(p), false}), i, l, kth)
+		}
+	}
+
+	st.orderd = make([]*regionInst, 0, len(st.insts))
+	for _, inst := range st.insts {
+		st.orderd = append(st.orderd, inst)
+	}
+	sort.Slice(st.orderd, func(a, b int) bool {
+		ka, kb := st.orderd[a].key, st.orderd[b].key
+		if ka.region != kb.region {
+			return ka.region < kb.region
+		}
+		return ka.horz && !kb.horz
+	})
+	return st
+}
+
+func (st *chipState) inst(k instKey) *regionInst {
+	if in, ok := st.insts[k]; ok {
+		return in
+	}
+	in := &regionInst{key: k}
+	st.insts[k] = in
+	return in
+}
+
+func (st *chipState) addSeg(in *regionInst, net int, l geom.Micron, kth float64) {
+	in.segs = append(in.segs, sino.Seg{Net: net, Kth: kth, Rate: st.r.sens.Rate(net)})
+	in.lens = append(in.lens, l)
+	in.nets = append(in.nets, net)
+	st.terms[net] = append(st.terms[net], segTerm{inst: in, seg: len(in.segs) - 1})
+}
+
+// solveAll runs the per-region solver for every instance. netOrderOnly
+// selects the NO baseline solver.
+func (st *chipState) solveAll(netOrderOnly bool) {
+	for _, in := range st.orderd {
+		st.solveInst(in, netOrderOnly)
+	}
+}
+
+// solveInst (re-)solves one instance and refreshes its couplings.
+func (st *chipState) solveInst(in *regionInst, netOrderOnly bool) {
+	prob := &sino.Instance{Segs: in.segs, Sensitive: st.r.sens.Sensitive, Model: st.r.model}
+	if netOrderOnly {
+		in.sol, _ = sino.NetOrderOnly(prob)
+	} else {
+		in.sol, _ = sino.Solve(prob)
+	}
+	in.k = prob.TotalK(in.sol)
+}
+
+// repairInst improves the instance's existing solution by shield insertion
+// only — the cheap path for Phase III pass 1, which perturbs one segment's
+// bound at a time.
+func (st *chipState) repairInst(in *regionInst) {
+	prob := &sino.Instance{Segs: in.segs, Sensitive: st.r.sens.Sensitive, Model: st.r.model}
+	sino.Repair(prob, in.sol)
+	in.k = prob.TotalK(in.sol)
+}
+
+// lskOf computes net i's LSK value under the current solutions (Eq. 1).
+func (st *chipState) lskOf(i int) float64 {
+	s := 0.0
+	for _, t := range st.terms[i] {
+		s += float64(t.inst.lens[t.seg]) * t.inst.k[t.seg]
+	}
+	return s
+}
+
+// violating returns the ids of nets whose LSK exceeds their budget, i.e.
+// whose table-predicted noise exceeds the threshold.
+func (st *chipState) violating() []int {
+	var out []int
+	for i := range st.terms {
+		if st.lskOf(i) > st.lskb[i]*(1+1e-9) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// usage returns per-region track demand including shields.
+func (st *chipState) usage() *grid.Usage {
+	u := grid.NewUsage(st.r.design.Grid)
+	for _, in := range st.orderd {
+		demand := float64(len(in.segs))
+		if in.sol != nil {
+			demand = float64(in.sol.NumTracks())
+		}
+		if in.key.horz {
+			u.H[in.key.region] += demand
+		} else {
+			u.V[in.key.region] += demand
+		}
+	}
+	return u
+}
+
+// shieldCount sums shields over all instances.
+func (st *chipState) shieldCount() int {
+	n := 0
+	for _, in := range st.orderd {
+		if in.sol != nil {
+			n += in.sol.NumShields()
+		}
+	}
+	return n
+}
+
+// segCount sums signal segments over all instances.
+func (st *chipState) segCount() int {
+	n := 0
+	for _, in := range st.orderd {
+		n += len(in.segs)
+	}
+	return n
+}
+
+// outcome assembles the flow metrics.
+func (st *chipState) outcome(flow Flow) *Outcome {
+	g := st.r.design.Grid
+	o := &Outcome{
+		Flow:        flow,
+		Design:      st.r.design.Name,
+		Rate:        st.r.design.Rate,
+		TotalNets:   len(st.r.design.Nets.Nets),
+		NominalArea: grid.Area{W: g.ChipW(), H: g.ChipH()},
+		Shields:     st.shieldCount(),
+		SegTracks:   st.segCount(),
+	}
+	for _, wl := range st.wl {
+		o.TotalWL += wl
+	}
+	if o.TotalNets > 0 {
+		o.AvgWL = o.TotalWL / geom.Micron(o.TotalNets)
+	}
+	o.Violations = len(st.violating())
+	o.ViolationPct = float64(o.Violations) / float64(o.TotalNets) * 100
+	u := st.usage()
+	o.Area = g.RoutingArea(u)
+	o.Congestion = g.Stats(u)
+	return o
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sort"
+)
+
+// refineStats reports Phase III activity.
+type refineStats struct {
+	resolves  int // SINO re-runs across both passes
+	unfixable int // violating nets that could not be repaired
+}
+
+// refine is Phase III (Figure 2): two passes of greedy local refinement.
+//
+// Pass 1 eliminates crosstalk violations: take the most severely violating
+// net; in the least congested region it crosses, tighten its segment's Kth
+// (allowing one more shield's worth of isolation) and re-run SINO there;
+// repeat inside the net until it meets its budget, then move to the next
+// violator. Pass 2 reduces congestion: in the most congested regions, grant
+// the nets with LSK slack looser bounds and re-run SINO; keep the new
+// solution only when it removes shields without creating any violation.
+func (st *chipState) refine() refineStats {
+	var stats refineStats
+	st.refinePass1(&stats)
+	st.refinePass2(&stats)
+	return stats
+}
+
+// density returns an instance's track demand over capacity.
+func (st *chipState) density(in *regionInst) float64 {
+	tracks := len(in.segs)
+	if in.sol != nil {
+		tracks = in.sol.NumTracks()
+	}
+	if in.key.horz {
+		return float64(tracks) / float64(st.r.design.Grid.HC)
+	}
+	return float64(tracks) / float64(st.r.design.Grid.VC)
+}
+
+func (st *chipState) refinePass1(stats *refineStats) {
+	kFloor := st.r.budgeter.KFloor
+	if kFloor <= 0 {
+		kFloor = 0.05
+	}
+	shrink := st.r.params.RefineShrink
+
+	unfixable := make(map[int]bool)
+	guard := 0
+	maxIters := 40*len(st.violating()) + 200
+	for {
+		guard++
+		if guard > maxIters {
+			break
+		}
+		// Outer loop: the net with the most severe remaining violation.
+		worst, worstRatio := -1, 1.0
+		for _, n := range st.violating() {
+			if unfixable[n] {
+				continue
+			}
+			if ratio := st.lskOf(n) / st.lskb[n]; ratio > worstRatio {
+				worst, worstRatio = n, ratio
+			}
+		}
+		if worst < 0 {
+			break
+		}
+
+		// Inner loop: tighten this net region by region, least congested
+		// first, until it meets its budget. Each visit pulls the segment's
+		// bound toward its fair share of the needed reduction (the fixed
+		// shrink factor alone converges too slowly for nets crossing dozens
+		// of regions).
+		fixed := false
+		tried := make(map[*regionInst]int)
+		for inner := 0; inner < 3*len(st.terms[worst])+8; inner++ {
+			lsk := st.lskOf(worst)
+			if lsk <= st.lskb[worst]*(1+1e-9) {
+				fixed = true
+				break
+			}
+			ratio := st.lskb[worst] / lsk * shrink
+			t := st.leastCongestedTightenable(worst, kFloor, tried)
+			if t == nil {
+				break // every segment at the floor or exhausted
+			}
+			in := t.inst
+			target := in.k[t.seg] * ratio
+			if cur := in.segs[t.seg].Kth; target >= cur {
+				target = cur * shrink
+			}
+			if target < kFloor {
+				target = kFloor
+			}
+			before := in.k[t.seg]
+			in.segs[t.seg].Kth = target
+			st.repairInst(in)
+			stats.resolves++
+			if in.k[t.seg] >= before*(1-1e-9) {
+				// The solver could not reduce this segment further; stop
+				// revisiting it once it has had a couple of chances.
+				tried[in]++
+			}
+		}
+		if !fixed {
+			unfixable[worst] = true
+		}
+	}
+	stats.unfixable = 0
+	for _, n := range st.violating() {
+		_ = n
+		stats.unfixable++
+	}
+}
+
+// leastCongestedTightenable picks the net's segment in the least congested
+// region whose bound is still above the floor, skipping instances that have
+// repeatedly failed to improve.
+func (st *chipState) leastCongestedTightenable(net int, kFloor float64, tried map[*regionInst]int) *segTerm {
+	var best *segTerm
+	bestDen := 0.0
+	for i := range st.terms[net] {
+		t := &st.terms[net][i]
+		if t.inst.segs[t.seg].Kth <= kFloor*(1+1e-9) || tried[t.inst] >= 2 {
+			continue
+		}
+		den := st.density(t.inst)
+		if best == nil || den < bestDen {
+			best, bestDen = t, den
+		}
+	}
+	return best
+}
+
+func (st *chipState) refinePass2(stats *refineStats) {
+	// Work from the most congested instances down; one sweep with
+	// acceptance-gated re-solves implements "until no reduction on the
+	// slacks is possible without causing crosstalk violations" within a
+	// bounded budget.
+	order := append([]*regionInst(nil), st.orderd...)
+	sort.Slice(order, func(a, b int) bool { return st.density(order[a]) > st.density(order[b]) })
+	for _, in := range order {
+		if st.density(in) <= 1 || in.sol == nil || in.sol.NumShields() == 0 {
+			continue
+		}
+		st.tryRelax(in, stats)
+	}
+}
+
+// tryRelax grants every segment of the instance its LSK slack (converted to
+// a K allowance over its local length), re-solves, and keeps the result only
+// if shields were removed and no net anywhere fell into violation.
+func (st *chipState) tryRelax(in *regionInst, stats *refineStats) {
+	oldKth := make([]float64, len(in.segs))
+	for i := range in.segs {
+		oldKth[i] = in.segs[i].Kth
+	}
+	oldSol, oldK := in.sol, in.k
+
+	changed := false
+	for i := range in.segs {
+		net := in.nets[i]
+		slack := st.lskb[net] - st.lskOf(net)
+		if slack <= 0 || in.lens[i] <= 0 {
+			continue
+		}
+		allow := 0.9 * slack / float64(in.lens[i])
+		if allow <= 0 {
+			continue
+		}
+		in.segs[i].Kth = oldKth[i] + allow
+		changed = true
+	}
+	if !changed {
+		return
+	}
+	st.solveInst(in, false)
+	stats.resolves++
+	if in.sol.NumShields() < oldSol.NumShields() && len(st.violating()) == 0 {
+		return // accepted
+	}
+	// Revert.
+	for i := range in.segs {
+		in.segs[i].Kth = oldKth[i]
+	}
+	in.sol, in.k = oldSol, oldK
+}

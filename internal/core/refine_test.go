@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+)
+
+// refineFixture builds a routed, solved GSINO state ready for Phase III.
+func refineFixture(t *testing.T, nNets int, rate float64, seed int64) (*Runner, *chipState) {
+	t.Helper()
+	d := smallDesign(t, nNets, rate, seed)
+	r, err := NewRunner(d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.routeAll(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.buildState(res, budgetManhattan)
+	st.solveAll(false)
+	return r, st
+}
+
+func TestRefineEliminatesViolations(t *testing.T) {
+	// Figure 2 pass 1: after refinement no nets may violate (the fixture
+	// sizes are comfortably within the feasible regime).
+	for _, seed := range []int64{1, 3, 8} {
+		_, st := refineFixture(t, 90, 0.5, seed)
+		stats := st.refine()
+		if left := len(st.violating()); left != 0 {
+			t.Errorf("seed %d: %d violations remain after refine (unfixable %d)",
+				seed, left, stats.unfixable)
+		}
+	}
+}
+
+func TestRefinePass1TightensBounds(t *testing.T) {
+	_, st := refineFixture(t, 90, 0.5, 2)
+	before := len(st.violating())
+	if before == 0 {
+		t.Skip("fixture produced no violations to repair")
+	}
+	var stats refineStats
+	st.refinePass1(&stats)
+	if len(st.violating()) >= before {
+		t.Errorf("pass 1 did not reduce violations: %d -> %d", before, len(st.violating()))
+	}
+	if stats.resolves == 0 {
+		t.Error("pass 1 reported no SINO re-runs despite repairs")
+	}
+}
+
+func TestRefinePass2NeverCreatesViolations(t *testing.T) {
+	// Figure 2 pass 2's acceptance rule: a relaxation is kept only when no
+	// net anywhere violates.
+	_, st := refineFixture(t, 90, 0.5, 4)
+	var stats refineStats
+	st.refinePass1(&stats)
+	if len(st.violating()) != 0 {
+		t.Skip("pass 1 left violations; pass 2 precondition unmet")
+	}
+	shieldsBefore := st.shieldCount()
+	st.refinePass2(&stats)
+	if got := len(st.violating()); got != 0 {
+		t.Fatalf("pass 2 created %d violations", got)
+	}
+	if st.shieldCount() > shieldsBefore {
+		t.Errorf("pass 2 increased shields: %d -> %d", shieldsBefore, st.shieldCount())
+	}
+}
+
+func TestDensityAccountsForShields(t *testing.T) {
+	_, st := refineFixture(t, 90, 0.5, 5)
+	for _, in := range st.orderd {
+		if in.sol == nil {
+			continue
+		}
+		d := st.density(in)
+		var cap int
+		if in.key.horz {
+			cap = st.r.design.Grid.HC
+		} else {
+			cap = st.r.design.Grid.VC
+		}
+		want := float64(in.sol.NumTracks()) / float64(cap)
+		if d != want {
+			t.Fatalf("density %g, want %g", d, want)
+		}
+	}
+}
+
+func TestLSKConsistency(t *testing.T) {
+	// Net LSK must equal the sum over its segment terms of length x K.
+	_, st := refineFixture(t, 60, 0.3, 6)
+	for i := range st.terms {
+		want := 0.0
+		for _, tt := range st.terms[i] {
+			want += float64(tt.inst.lens[tt.seg]) * tt.inst.k[tt.seg]
+		}
+		if got := st.lskOf(i); got != want {
+			t.Fatalf("net %d: lskOf=%g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestUsageIncludesShields(t *testing.T) {
+	_, st := refineFixture(t, 90, 0.5, 7)
+	u := st.usage()
+	totalTracks := 0.0
+	for _, in := range st.orderd {
+		totalTracks += float64(in.sol.NumTracks())
+	}
+	sum := 0.0
+	for i := range u.H {
+		sum += u.H[i] + u.V[i]
+	}
+	if sum != totalTracks {
+		t.Errorf("usage sums to %g tracks, instances hold %g", sum, totalTracks)
+	}
+}
+
+func TestBuildStateWirelengthMatchesTrees(t *testing.T) {
+	r, st := refineFixture(t, 50, 0.3, 9)
+	g := r.design.Grid
+	for i := range st.trees {
+		if len(st.trees[i].Edges) == 0 {
+			continue // stubs use pin spread, not tree length
+		}
+		if st.wl[i] != st.trees[i].WirelengthUM(g) {
+			t.Fatalf("net %d: wl=%v, tree says %v", i, st.wl[i], st.trees[i].WirelengthUM(g))
+		}
+	}
+}
+
+func TestTreeBudgetTighterForLongNets(t *testing.T) {
+	// Tree-length budgets must never exceed Manhattan budgets (detours only
+	// lengthen routes), so iSINO's bounds are at least as strict.
+	d := smallDesign(t, 60, 0.3, 10)
+	r, err := NewRunner(d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.routeAll(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manh := r.buildState(res, budgetManhattan)
+	tree := r.buildState(res, budgetTreeLength)
+	for i := range manh.terms {
+		if len(manh.terms[i]) == 0 || len(tree.terms[i]) == 0 {
+			continue
+		}
+		if len(manh.trees[i].Edges) == 0 {
+			continue // intra-region stubs budget identically
+		}
+		// Region quantization can make a short tree measure below the exact
+		// pin-level Manhattan distance; the invariant only holds when the
+		// routed length really is the longer one.
+		if manh.wl[i] < d.Nets.Nets[i].MaxSinkDistance() {
+			continue
+		}
+		mk := manh.terms[i][0].inst.segs[manh.terms[i][0].seg].Kth
+		tk := tree.terms[i][0].inst.segs[tree.terms[i][0].seg].Kth
+		if tk > mk*(1+1e-9) {
+			t.Fatalf("net %d: tree budget %g looser than Manhattan %g", i, tk, mk)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package ibm generates the synthetic stand-ins for the ISPD'98/IBM
+// benchmark circuits the paper evaluates on (ibm01–ibm06, placed by
+// DRAGON). The original netlists and placements cannot ship in an offline
+// stdlib-only repository, so each profile reproduces the observable
+// statistics the paper reports instead (see DESIGN.md, substitution 2):
+//
+//   - the total signal-net count, derived from Table 1 (violating nets ÷
+//     violation rate);
+//   - the chip dimensions, from Table 3's ID+NO row;
+//   - a pin-per-net distribution matching published ISPD'98 statistics
+//     (dominant 2–3-pin nets with a geometric tail);
+//   - net locality calibrated so the ID+NO average wirelength lands in
+//     Table 2's 639–769 µm band.
+//
+// Sensitivity is uniform random at the experiment's rate, exactly as in the
+// paper ("a signal net is sensitive to random 30% of other signal nets").
+package ibm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/netlist"
+)
+
+// Profile describes one benchmark circuit.
+type Profile struct {
+	Name string
+	Nets int // total signal nets (paper-derived)
+
+	ChipW, ChipH geom.Micron // from Table 3, ID+NO row
+	Cols, Rows   int         // routing-region grid (≈100 µm regions)
+
+	// TargetUtil is the average track utilization the capacity is sized
+	// for; the paper's baselines neither overflow nor waste the fabric.
+	TargetUtil float64
+
+	// PaperViol30/50 are Table 1's ID+NO violation percentages, kept for
+	// paper-vs-measured reporting.
+	PaperViol30, PaperViol50 float64
+	// PaperWL is Table 2's ID+NO average wirelength (µm).
+	PaperWL float64
+}
+
+// Profiles returns the six circuits of the paper's evaluation, in order.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "ibm01", Nets: 13062, ChipW: 1533, ChipH: 1824, Cols: 15, Rows: 18,
+			TargetUtil: 0.68, PaperViol30: 14.60, PaperViol50: 19.78, PaperWL: 639},
+		{Name: "ibm02", Nets: 19290, ChipW: 3004, ChipH: 3995, Cols: 30, Rows: 40,
+			TargetUtil: 0.68, PaperViol30: 16.87, PaperViol50: 22.16, PaperWL: 724},
+		{Name: "ibm03", Nets: 26100, ChipW: 3178, ChipH: 3852, Cols: 31, Rows: 38,
+			TargetUtil: 0.68, PaperViol30: 18.85, PaperViol50: 23.20, PaperWL: 647},
+		{Name: "ibm04", Nets: 31327, ChipW: 3861, ChipH: 3910, Cols: 38, Rows: 39,
+			TargetUtil: 0.68, PaperViol30: 16.42, PaperViol50: 18.92, PaperWL: 748},
+		{Name: "ibm05", Nets: 29645, ChipW: 9837, ChipH: 7286, Cols: 96, Rows: 72,
+			TargetUtil: 0.68, PaperViol30: 14.71, PaperViol50: 24.07, PaperWL: 695},
+		{Name: "ibm06", Nets: 34397, ChipW: 5002, ChipH: 3795, Cols: 49, Rows: 38,
+			TargetUtil: 0.68, PaperViol30: 13.96, PaperViol50: 19.11, PaperWL: 769},
+	}
+}
+
+// ProfileByName looks a profile up; it returns an error for unknown names.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("ibm: unknown circuit %q (have ibm01..ibm06)", name)
+}
+
+// Options controls generation.
+type Options struct {
+	Seed int64
+
+	// Scale divides the net count and the track capacities, preserving
+	// densities and experiment shape while shrinking runtime; 0 or 1 is
+	// full scale.
+	Scale int
+
+	// SensRate is the pairwise sensitivity probability; 0 selects 0.30.
+	SensRate float64
+}
+
+// Circuit is a generated benchmark instance.
+type Circuit struct {
+	Profile Profile
+	Scale   int
+	Nets    *netlist.Netlist
+	Grid    *grid.Grid
+}
+
+// Generate builds the synthetic circuit for p.
+func Generate(p Profile, opt Options) (*Circuit, error) {
+	if p.Nets <= 0 || p.Cols <= 0 || p.Rows <= 0 || p.ChipW <= 0 || p.ChipH <= 0 {
+		return nil, fmt.Errorf("ibm: malformed profile %+v", p)
+	}
+	scale := opt.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	rate := opt.SensRate
+	if rate == 0 {
+		rate = 0.30
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("ibm: sensitivity rate %g outside [0,1]", rate)
+	}
+	nNets := p.Nets / scale
+	if nNets < 1 {
+		return nil, fmt.Errorf("ibm: scale %d leaves no nets", scale)
+	}
+	// Region granularity follows net density: a region-direction track
+	// stack needs a few dozen segments for its statistics (and its track
+	// capacity) to be meaningful — thin stacks make relative demand peaks,
+	// and with them baseline overflow, explode. The profile's Cols×Rows is
+	// the finest granularity; grids are coarsened so that roughly ten nets
+	// share each region.
+	targetRegions := nNets / 10
+	if targetRegions < 16 {
+		targetRegions = 16
+	}
+	if p.Cols*p.Rows > targetRegions {
+		f := math.Sqrt(float64(p.Cols*p.Rows) / float64(targetRegions))
+		p.Cols = shrinkDim(p.Cols, f)
+		p.Rows = shrinkDim(p.Rows, f)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed*1000003 + int64(len(p.Name))))
+
+	// Net centers are stratified over a jittered lattice rather than drawn
+	// uniformly: placers flatten routing demand, and independent uniform
+	// centers would produce hotspot regions several times denser than the
+	// average, which no placed design exhibits.
+	lat := int(math.Ceil(math.Sqrt(float64(nNets))))
+	perm := rng.Perm(lat * lat)
+	nets := make([]netlist.Net, nNets)
+	for i := range nets {
+		cell := perm[i]
+		cx := (float64(cell%lat) + rng.Float64()) / float64(lat) * float64(p.ChipW)
+		cy := (float64(cell/lat) + rng.Float64()) / float64(lat) * float64(p.ChipH)
+		nets[i] = netlist.Net{
+			ID:   i,
+			Name: fmt.Sprintf("%s_n%d", p.Name, i),
+			Pins: genPins(rng, p, geom.Micron(cx), geom.Micron(cy)),
+		}
+	}
+	nl := &netlist.Netlist{
+		Nets:        nets,
+		Sensitivity: netlist.NewHashSensitivity(uint64(opt.Seed)+0x5151, rate, nNets),
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("ibm: generated netlist invalid: %w", err)
+	}
+
+	g, err := buildGrid(p, nl)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{Profile: p, Scale: scale, Nets: nl, Grid: g}, nil
+}
+
+// shrinkDim divides a grid dimension by f, keeping at least 4 regions.
+func shrinkDim(d int, f float64) int {
+	out := int(math.Round(float64(d) / f))
+	if out < 4 {
+		out = 4
+	}
+	return out
+}
+
+// pinCount draws the pins-per-net distribution: dominated by 2–3-pin nets
+// with a geometric tail, matching ISPD'98 statistics.
+func pinCount(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.58:
+		return 2
+	case r < 0.78:
+		return 3
+	case r < 0.88:
+		return 4
+	default:
+		// Geometric tail from 5 pins up, capped.
+		n := 5
+		for n < 24 && rng.Float64() < 0.55 {
+			n++
+		}
+		return n
+	}
+}
+
+// spread draws the net's locality scale (the Laplace parameter of pin
+// offsets from the net center, µm): mostly local nets, a medium class, and
+// a global tail. Calibrated so routed ID+NO average wirelength lands in the
+// paper's 639–769 µm band on ≈100 µm regions.
+func spread(rng *rand.Rand) float64 {
+	r := rng.Float64()
+	switch {
+	case r < 0.55:
+		return 70
+	case r < 0.88:
+		return 220
+	default:
+		return 650
+	}
+}
+
+// laplace draws a Laplace(0, b) variate.
+func laplace(rng *rand.Rand, b float64) float64 {
+	u := rng.Float64() - 0.5
+	sign := 1.0
+	if u < 0 {
+		sign = -1
+		u = -u
+	}
+	return -sign * b * math.Log(1-2*u)
+}
+
+func genPins(rng *rand.Rand, p Profile, cx, cy geom.Micron) []netlist.Pin {
+	n := pinCount(rng)
+	b := spread(rng)
+	pins := make([]netlist.Pin, n)
+	for i := range pins {
+		x := cx + geom.Micron(laplace(rng, b))
+		y := cy + geom.Micron(laplace(rng, b))
+		pins[i] = netlist.Pin{Loc: geom.MicronPoint{X: reflect(x, p.ChipW), Y: reflect(y, p.ChipH)}}
+	}
+	return pins
+}
+
+// reflect folds a coordinate back into [0, hi] by mirroring at the chip
+// boundary. Saturating instead would pile the Laplace tails onto the edge
+// regions and manufacture artificial hotspots there.
+func reflect(v, hi geom.Micron) geom.Micron {
+	for v < 0 || v > hi {
+		if v < 0 {
+			v = -v
+		}
+		if v > hi {
+			v = 2*hi - v
+		}
+	}
+	return v
+}
+
+// buildGrid sizes the region track capacities so the average utilization of
+// the routed (unshielded) design sits at the profile's target. The demand
+// estimate was calibrated against routed usage: a net occupies roughly one
+// horizontal track across the bbox columns it crosses (+1 terminal) with a
+// branch surcharge for extra pins, and measured usage runs ≈1.4× the naive
+// bbox estimate (branches and region-boundary double-counting).
+func buildGrid(p Profile, nl *netlist.Netlist) (*grid.Grid, error) {
+	cellW := p.ChipW / geom.Micron(p.Cols)
+	cellH := p.ChipH / geom.Micron(p.Rows)
+	regions := float64(p.Cols * p.Rows)
+
+	const routedFactor = 1.0
+	var hDemand, vDemand float64
+	for i := range nl.Nets {
+		net := &nl.Nets[i]
+		minX, maxX := net.Pins[0].Loc.X, net.Pins[0].Loc.X
+		minY, maxY := net.Pins[0].Loc.Y, net.Pins[0].Loc.Y
+		for _, pin := range net.Pins[1:] {
+			minX = minM(minX, pin.Loc.X)
+			maxX = maxM(maxX, pin.Loc.X)
+			minY = minM(minY, pin.Loc.Y)
+			maxY = maxM(maxY, pin.Loc.Y)
+		}
+		wReg := float64(maxX-minX)/float64(cellW) + 1
+		hReg := float64(maxY-minY)/float64(cellH) + 1
+		branch := 1 + 0.15*float64(len(net.Pins)-2)
+		hDemand += wReg * branch
+		vDemand += hReg * branch
+	}
+	hc := int(math.Ceil(hDemand * routedFactor / regions / p.TargetUtil))
+	vc := int(math.Ceil(vDemand * routedFactor / regions / p.TargetUtil))
+	if hc < 4 {
+		hc = 4
+	}
+	if vc < 4 {
+		vc = 4
+	}
+	return grid.New(p.Cols, p.Rows, cellW, cellH, hc, vc)
+}
+
+func minM(a, b geom.Micron) geom.Micron {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxM(a, b geom.Micron) geom.Micron {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,334 @@
+// Package keff implements the paper's two noise models (§2):
+//
+//   - The Keff model of He–Lepak: a formula-based inductive coupling
+//     coefficient K_ij between two signal nets placed on tracks inside one
+//     routing region, and the per-net total K_i = Σ_j K_ij over sensitive
+//     aggressors. The published formula lives in a technical report; this
+//     package reconstructs it from loop inductance first principles (see
+//     DESIGN.md, substitution 3): each signal wire forms a current loop with
+//     its nearest shield (routing-region walls are pre-routed P/G wires and
+//     count as shields), and K_ij is the normalized loop-to-loop mutual.
+//
+//   - The length-scaled Keff model (LSK, §2.2): LSK_i = Σ_r l_r·K_i^r summed
+//     over the regions r the net crosses, mapped to a crosstalk voltage by a
+//     100-entry lookup table built from transient simulations.
+package keff
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tech"
+)
+
+// TrackKind says what occupies one track of a region layout.
+type TrackKind int8
+
+// Track contents.
+const (
+	SignalTrack TrackKind = iota
+	ShieldTrack
+)
+
+// Track is one slot in a region's track stack, in geometric order.
+type Track struct {
+	Kind TrackKind
+	Net  int // caller-defined net identifier; meaningful for SignalTrack only
+}
+
+// ShieldOf returns a shield track.
+func ShieldOf() Track { return Track{Kind: ShieldTrack} }
+
+// SignalOf returns a signal track for net id.
+func SignalOf(id int) Track { return Track{Kind: SignalTrack, Net: id} }
+
+// Layout is the ordered track assignment of one routing region in one
+// routing direction. The region walls at positions -1 and len(Tracks) are
+// implicit shields (pre-routed P/G wires, paper §2.1).
+type Layout struct {
+	Tracks []Track
+}
+
+// Model computes coupling coefficients for a layout under a technology.
+// It memoizes the distance-indexed partial inductances, so PairCoupling is
+// O(1) after warm-up; a Model is not safe for concurrent use.
+type Model struct {
+	Tech *tech.Technology
+
+	// RefLength is the wire length (meters) used in the partial-inductance
+	// formulas. K varies only logarithmically with length, so a fixed
+	// reference keeps the model a pure function of the layout; 0 selects
+	// 1 mm.
+	RefLength float64
+
+	// BackgroundReturn is the distance, in track pitches, of the implicit
+	// return path provided by the chip's power distribution (standard-cell
+	// power rails run under the global layers at roughly this pitch). When
+	// no explicit shield or region wall is nearer, return currents close
+	// through this background grid, which caps loop sizes — and with them
+	// the coupling between far-apart tracks. 0 selects 12 pitches;
+	// negative disables the cap (walls and shields only).
+	BackgroundReturn int
+
+	mu []float64 // mu[d] = partial mutual at d track pitches; mu[0] = Lself
+}
+
+// NewModel returns a Model over t with the default reference length.
+func NewModel(t *tech.Technology) *Model {
+	return &Model{Tech: t}
+}
+
+func (m *Model) refLength() float64 {
+	if m.RefLength > 0 {
+		return m.RefLength
+	}
+	return 1e-3
+}
+
+// backgroundReturn returns the effective background-return distance in
+// pitches, or a huge value when disabled.
+func (m *Model) backgroundReturn() int {
+	switch {
+	case m.BackgroundReturn > 0:
+		return m.BackgroundReturn
+	case m.BackgroundReturn < 0:
+		return 1 << 30
+	default:
+		return 12
+	}
+}
+
+// PairCutoff returns the track separation beyond which PairCoupling is
+// negligible under the background-return model: loops larger than the
+// background grid pitch cannot form, so tracks more than a few loop
+// diameters apart are effectively decoupled. AllTotals and TotalCoupling
+// skip pairs beyond the cutoff.
+func (m *Model) PairCutoff() int {
+	bg := m.backgroundReturn()
+	if bg >= 1<<29 {
+		return 1 << 30 // cap disabled: consider all pairs
+	}
+	return 4 * bg
+}
+
+// mutualAt returns the partial mutual inductance between two parallel wires
+// d track pitches apart (d = 0 returns the self-inductance), memoized.
+func (m *Model) mutualAt(d int) float64 {
+	if d < 0 {
+		d = -d
+	}
+	for len(m.mu) <= d {
+		i := len(m.mu)
+		var v float64
+		if i == 0 {
+			v = m.Tech.LSelf(m.refLength())
+		} else {
+			v = m.Tech.LMutual(float64(i)*m.Tech.Pitch(), m.refLength())
+		}
+		m.mu = append(m.mu, v)
+	}
+	return m.mu[d]
+}
+
+// shieldNeighbors returns the positions of the nearest return conductor on
+// each side of track i: an explicit shield track, the implicit wall shields
+// at -1 and len(tracks), or the virtual background-return rail when nothing
+// nearer exists.
+func (m *Model) shieldNeighbors(tracks []Track, i int) (left, right int) {
+	bg := m.backgroundReturn()
+	left, right = -1, len(tracks)
+	for p := i - 1; p >= 0; p-- {
+		if tracks[p].Kind == ShieldTrack {
+			left = p
+			break
+		}
+	}
+	for p := i + 1; p < len(tracks); p++ {
+		if tracks[p].Kind == ShieldTrack {
+			right = p
+			break
+		}
+	}
+	if i-left > bg {
+		left = i - bg
+	}
+	if right-i > bg {
+		right = i + bg
+	}
+	return left, right
+}
+
+// PairCoupling returns K_ij between the signal tracks at positions ti and tj
+// of the layout, a dimensionless coupling coefficient in [0, 1).
+//
+// Each signal wire returns current through the nearest shield on each side
+// (routing-region walls included), splitting inversely to the loop
+// inductances — current prefers the tighter loop. With partial self- and
+// mutual inductances L(·), M(·,·), for a particular choice of returns
+// (s_i, s_j):
+//
+//	Lloop(w, s) = 2·(L(w) − M(w, s))
+//	Mloop(s_i, s_j) = M(w_i,w_j) − M(w_i,s_j) − M(s_i,w_j) + M(s_i,s_j)
+//
+// and the model averages Mloop over the four return combinations weighted
+// by the current split. Two wires sharing the same return conductor pick up
+// its self-inductance through the M(s_i,s_j) term, which is what makes
+// unshielded nets that both return through a distant region wall couple so
+// strongly — and why a dedicated shield between or beside the pair collapses
+// K_ij. That contrast is exactly the effect SINO exploits.
+func (m *Model) PairCoupling(l Layout, ti, tj int) float64 {
+	tr := l.Tracks
+	if ti == tj {
+		panic("keff: PairCoupling of a track with itself")
+	}
+	if ti < 0 || ti >= len(tr) || tj < 0 || tj >= len(tr) {
+		panic(fmt.Sprintf("keff: track index out of range: %d, %d (have %d)", ti, tj, len(tr)))
+	}
+	if tr[ti].Kind != SignalTrack || tr[tj].Kind != SignalTrack {
+		panic("keff: PairCoupling requires signal tracks")
+	}
+	il, ir := m.shieldNeighbors(tr, ti)
+	jl, jr := m.shieldNeighbors(tr, tj)
+	return m.pairCouplingAt(ti, tj, [2]int{il, ir}, [2]int{jl, jr})
+}
+
+// pairCouplingAt computes K_ij given each wire's left/right return shields.
+func (m *Model) pairCouplingAt(ti, tj int, si, sj [2]int) float64 {
+	ls := m.mutualAt(0)
+	loop := func(w, s int) float64 {
+		ll := 2 * (ls - m.mutualAt(w-s))
+		if ll < 1e-3*ls {
+			ll = 1e-3 * ls
+		}
+		return ll
+	}
+	li := [2]float64{loop(ti, si[0]), loop(ti, si[1])}
+	lj := [2]float64{loop(tj, sj[0]), loop(tj, sj[1])}
+	// Current split: the share through the left return is proportional to
+	// the inductance of the *right* loop (lower-inductance path carries
+	// more).
+	wi := [2]float64{li[1] / (li[0] + li[1]), li[0] / (li[0] + li[1])}
+	wj := [2]float64{lj[1] / (lj[0] + lj[1]), lj[0] / (lj[0] + lj[1])}
+
+	var mloop float64
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			ml := m.mutualAt(ti-tj) - m.mutualAt(ti-sj[b]) - m.mutualAt(si[a]-tj) + m.mutualAt(si[a]-sj[b])
+			mloop += wi[a] * wj[b] * ml
+		}
+	}
+	leffI := wi[0]*li[0] + wi[1]*li[1]
+	leffJ := wj[0]*lj[0] + wj[1]*lj[1]
+	k := math.Abs(mloop) / math.Sqrt(leffI*leffJ)
+	if k >= 1 {
+		k = 0.999999
+	}
+	return k
+}
+
+// TotalCoupling returns K_i for the signal track at position ti: the sum of
+// PairCoupling over every other signal track whose net is sensitive to the
+// net on ti (paper §2.2: "the total amount of inductive coupling Ki induced
+// on Ni is Σ K_ij for all signal nets that are sensitive to Ni").
+//
+// sensitive(a, b) must report whether nets a and b are sensitive to each
+// other; it is only consulted for distinct signal tracks.
+func (m *Model) TotalCoupling(l Layout, ti int, sensitive func(a, b int) bool) float64 {
+	tr := l.Tracks
+	if tr[ti].Kind != SignalTrack {
+		panic("keff: TotalCoupling requires a signal track")
+	}
+	cutoff := m.PairCutoff()
+	sum := 0.0
+	for tj := range tr {
+		if tj == ti || tr[tj].Kind != SignalTrack {
+			continue
+		}
+		if d := tj - ti; d > cutoff || -d > cutoff {
+			continue
+		}
+		if !sensitive(tr[ti].Net, tr[tj].Net) {
+			continue
+		}
+		sum += m.PairCoupling(l, ti, tj)
+	}
+	return sum
+}
+
+// AllTotals returns K_i for every track position (0 for shield positions),
+// computing each pair once. Shield neighborhoods are precomputed and pairs
+// beyond the background-return cutoff are skipped, so the cost is
+// O(n·cutoff) in the number of tracks with O(1) work per pair.
+func (m *Model) AllTotals(l Layout, sensitive func(a, b int) bool) []float64 {
+	tr := l.Tracks
+	out := make([]float64, len(tr))
+	shields := m.shieldTable(tr)
+	cutoff := m.PairCutoff()
+	for i := range tr {
+		if tr[i].Kind != SignalTrack {
+			continue
+		}
+		jMax := i + cutoff
+		if jMax >= len(tr) || jMax < 0 { // overflow guard for huge cutoffs
+			jMax = len(tr) - 1
+		}
+		for j := i + 1; j <= jMax; j++ {
+			if tr[j].Kind != SignalTrack {
+				continue
+			}
+			if !sensitive(tr[i].Net, tr[j].Net) {
+				continue
+			}
+			k := m.pairCouplingAt(i, j, shields[i], shields[j])
+			out[i] += k
+			out[j] += k
+		}
+	}
+	return out
+}
+
+// shieldTable precomputes each position's nearest return conductors in one
+// sweep per direction, applying the background-return cap.
+func (m *Model) shieldTable(tr []Track) [][2]int {
+	n := len(tr)
+	bg := m.backgroundReturn()
+	out := make([][2]int, n)
+	last := -1
+	for i := 0; i < n; i++ {
+		out[i][0] = last
+		if lo := i - bg; out[i][0] < lo {
+			out[i][0] = lo
+		}
+		if tr[i].Kind == ShieldTrack {
+			last = i
+		}
+	}
+	next := n
+	for i := n - 1; i >= 0; i-- {
+		out[i][1] = next
+		if hi := i + bg; out[i][1] > hi {
+			out[i][1] = hi
+		}
+		if tr[i].Kind == ShieldTrack {
+			next = i
+		}
+	}
+	return out
+}
+
+// LSKTerm is one region's contribution to a net's LSK value.
+type LSKTerm struct {
+	LengthUM float64 // l_r: the net's length inside the region, microns
+	K        float64 // K_i^r: the net's total coupling inside the region
+}
+
+// LSK computes the length-scaled Keff value LSK = Σ l_r·K_r (paper Eq. 1).
+// Lengths are in microns; the result's unit is micron·K, matching the
+// lookup table.
+func LSK(terms []LSKTerm) float64 {
+	s := 0.0
+	for _, t := range terms {
+		s += t.LengthUM * t.K
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package keff
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DriverClass names one (driver resistance, load capacitance) combination.
+// The paper assumes uniform drivers and receivers and notes that "the
+// aforementioned table should be re-computed for different combinations of
+// driver and receiver"; TableSet is that generalization — one LSK→voltage
+// table per class (paper §2.2, future work).
+type DriverClass struct {
+	Name      string
+	DriverRes float64 // Ω; 0 selects the technology default
+	LoadCap   float64 // F; 0 selects the technology default
+}
+
+// TableSet holds one lookup table per driver/receiver class.
+type TableSet struct {
+	classes []DriverClass
+	tables  map[string]*Table
+}
+
+// NewTableSet assembles a set from parallel class and table slices.
+func NewTableSet(classes []DriverClass, tables []*Table) (*TableSet, error) {
+	if len(classes) == 0 || len(classes) != len(tables) {
+		return nil, fmt.Errorf("keff: need matching non-empty classes and tables, got %d and %d",
+			len(classes), len(tables))
+	}
+	ts := &TableSet{tables: make(map[string]*Table, len(classes))}
+	for i, c := range classes {
+		if c.Name == "" {
+			return nil, fmt.Errorf("keff: class %d has no name", i)
+		}
+		if _, dup := ts.tables[c.Name]; dup {
+			return nil, fmt.Errorf("keff: duplicate class %q", c.Name)
+		}
+		if tables[i] == nil {
+			return nil, fmt.Errorf("keff: class %q has nil table", c.Name)
+		}
+		ts.classes = append(ts.classes, c)
+		ts.tables[c.Name] = tables[i]
+	}
+	return ts, nil
+}
+
+// Classes returns the class names in registration order.
+func (ts *TableSet) Classes() []string {
+	out := make([]string, len(ts.classes))
+	for i, c := range ts.classes {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Table returns the class's table, or an error for unknown classes.
+func (ts *TableSet) Table(class string) (*Table, error) {
+	t, ok := ts.tables[class]
+	if !ok {
+		known := ts.Classes()
+		sort.Strings(known)
+		return nil, fmt.Errorf("keff: unknown driver class %q (have %v)", class, known)
+	}
+	return t, nil
+}
+
+// Voltage looks up the crosstalk voltage for a net of the given class.
+func (ts *TableSet) Voltage(class string, lsk float64) (float64, error) {
+	t, err := ts.Table(class)
+	if err != nil {
+		return 0, err
+	}
+	return t.Voltage(lsk), nil
+}
+
+// LSKFor inverts the class's table at voltage v.
+func (ts *TableSet) LSKFor(class string, v float64) (float64, error) {
+	t, err := ts.Table(class)
+	if err != nil {
+		return 0, err
+	}
+	return t.LSKFor(v), nil
+}
+
+// BuildTableSet runs the full simulation-based table construction once per
+// driver/receiver class. cfg.Tech supplies the process; each class's
+// driver resistance and load capacitance override the technology's uniform
+// values during its simulations.
+func BuildTableSet(cfg BuildConfig, classes []DriverClass) (*TableSet, error) {
+	if cfg.Tech == nil {
+		return nil, fmt.Errorf("keff: BuildTableSet needs a technology")
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("keff: BuildTableSet needs at least one class")
+	}
+	tables := make([]*Table, len(classes))
+	for i, class := range classes {
+		t := *cfg.Tech // copy; per-class overrides must not leak
+		if class.DriverRes > 0 {
+			t.DriverRes = class.DriverRes
+		}
+		if class.LoadCap > 0 {
+			t.LoadCap = class.LoadCap
+		}
+		classCfg := cfg
+		classCfg.Tech = &t
+		table, err := BuildTable(classCfg)
+		if err != nil {
+			return nil, fmt.Errorf("keff: class %q: %w", class.Name, err)
+		}
+		tables[i] = table
+	}
+	return NewTableSet(classes, tables)
+}

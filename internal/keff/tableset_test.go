@@ -1,0 +1,139 @@
+package keff
+
+import (
+	"testing"
+
+	"repro/internal/rlc"
+	"repro/internal/tech"
+)
+
+func twoTables(t *testing.T) ([]DriverClass, []*Table) {
+	t.Helper()
+	a, err := NewTable([]float64{100, 200}, []float64{0.10, 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTable([]float64{150, 300}, []float64{0.10, 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []DriverClass{{Name: "strong"}, {Name: "weak"}}, []*Table{a, b}
+}
+
+func TestNewTableSetValidation(t *testing.T) {
+	classes, tables := twoTables(t)
+	if _, err := NewTableSet(nil, nil); err == nil {
+		t.Error("empty set: want error")
+	}
+	if _, err := NewTableSet(classes, tables[:1]); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := NewTableSet([]DriverClass{{}, {Name: "x"}}, tables); err == nil {
+		t.Error("unnamed class: want error")
+	}
+	if _, err := NewTableSet([]DriverClass{{Name: "x"}, {Name: "x"}}, tables); err == nil {
+		t.Error("duplicate class: want error")
+	}
+	if _, err := NewTableSet(classes, []*Table{tables[0], nil}); err == nil {
+		t.Error("nil table: want error")
+	}
+	if _, err := NewTableSet(classes, tables); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+func TestTableSetLookups(t *testing.T) {
+	classes, tables := twoTables(t)
+	ts, err := NewTableSet(classes, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.Classes(); len(got) != 2 || got[0] != "strong" || got[1] != "weak" {
+		t.Errorf("Classes = %v", got)
+	}
+	v, err := ts.Voltage("strong", 150)
+	if err != nil || v < 0.15-1e-12 || v > 0.15+1e-12 {
+		t.Errorf("Voltage(strong,150) = %g, %v", v, err)
+	}
+	l, err := ts.LSKFor("weak", 0.15)
+	if err != nil || l < 225-1e-9 || l > 225+1e-9 {
+		t.Errorf("LSKFor(weak,0.15) = %g, %v", l, err)
+	}
+	if _, err := ts.Voltage("missing", 1); err == nil {
+		t.Error("unknown class: want error")
+	}
+}
+
+// TestNonUniformDriversShiftNoise is the future-work reproduction: a victim
+// held by a weaker driver suffers more noise at the same layout and length,
+// so its class's table must map the same voltage threshold to a smaller LSK
+// budget.
+func TestNonUniformDriversShiftNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs transient simulations")
+	}
+	base := tech.Default()
+	mkBus := func(driverRes float64) *rlc.Bus {
+		return &rlc.Bus{
+			Tech: base,
+			Wires: []rlc.Wire{
+				{Kind: rlc.Signal, Switching: true},
+				{Kind: rlc.Signal, DriverRes: driverRes},
+				{Kind: rlc.Signal, Switching: true},
+			},
+			Length:      2e-3,
+			WallShields: true,
+		}
+	}
+	strong, err := mkBus(15).Simulate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := mkBus(120).Simulate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.PeakNoise <= strong.PeakNoise {
+		t.Errorf("weak-driver victim noise %g not above strong-driver %g",
+			weak.PeakNoise, strong.PeakNoise)
+	}
+}
+
+func TestBuildTableSetPerClass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds tables via simulation")
+	}
+	cfg := BuildConfig{
+		Tech:     tech.Default(),
+		Lengths:  []float64{1e-3, 2e-3, 3e-3},
+		Patterns: []string{"AV", "AVA", "AAVAA"},
+		Entries:  10,
+	}
+	ts, err := BuildTableSet(cfg, []DriverClass{
+		{Name: "strong", DriverRes: 15},
+		{Name: "weak", DriverRes: 120},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := ts.LSKFor("strong", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := ts.LSKFor("weak", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lw >= ls {
+		t.Errorf("weak-driver LSK budget %g not tighter than strong-driver %g", lw, ls)
+	}
+}
+
+func TestBuildTableSetValidation(t *testing.T) {
+	if _, err := BuildTableSet(BuildConfig{}, []DriverClass{{Name: "x"}}); err == nil {
+		t.Error("missing tech: want error")
+	}
+	if _, err := BuildTableSet(BuildConfig{Tech: tech.Default()}, nil); err == nil {
+		t.Error("no classes: want error")
+	}
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+func outcome(circuit string, rate float64, flow core.Flow, viol int, totalWL float64, areaW, areaH geom.Micron) *core.Outcome {
+	return &core.Outcome{
+		Flow: flow, Design: circuit, Rate: rate,
+		TotalNets: 1000, Violations: viol, ViolationPct: float64(viol) / 10,
+		AvgWL: geom.Micron(totalWL / 1000), TotalWL: geom.Micron(totalWL),
+		Area: grid.Area{W: areaW, H: areaH},
+	}
+}
+
+func populated() *Set {
+	s := NewSet()
+	for _, rate := range []float64{0.3, 0.5} {
+		s.Add(outcome("ibm01", rate, core.FlowIDNO, 150, 640000, 1533, 1824))
+		s.Add(outcome("ibm01", rate, core.FlowISINO, 0, 640000, 1650, 1950))
+		s.Add(outcome("ibm01", rate, core.FlowGSINO, 0, 680000, 1590, 1870))
+	}
+	return s
+}
+
+func TestAddAndGet(t *testing.T) {
+	s := populated()
+	if o := s.Get("ibm01", 0.3, core.FlowIDNO); o == nil || o.Violations != 150 {
+		t.Fatalf("Get returned %+v", o)
+	}
+	if o := s.Get("ibm01", 0.4, core.FlowIDNO); o != nil {
+		t.Fatal("Get for missing rate should be nil")
+	}
+	if o := s.Get("ibm09", 0.3, core.FlowIDNO); o != nil {
+		t.Fatal("Get for missing circuit should be nil")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	s := populated()
+	var b1, b2, b3, d, sum strings.Builder
+	s.Table1(&b1)
+	s.Table2(&b2)
+	s.Table3(&b3)
+	s.Deltas(&d)
+	s.Summary(&sum)
+
+	if !strings.Contains(b1.String(), "ibm01") || !strings.Contains(b1.String(), "15.00%") {
+		t.Errorf("Table1 missing measured data:\n%s", b1.String())
+	}
+	if !strings.Contains(b1.String(), "14.60%") {
+		t.Errorf("Table1 missing paper column:\n%s", b1.String())
+	}
+	if !strings.Contains(b2.String(), "6.25%") { // 680000/640000 - 1
+		t.Errorf("Table2 missing WL overhead:\n%s", b2.String())
+	}
+	if !strings.Contains(b3.String(), "1533 x 1824") {
+		t.Errorf("Table3 missing base area:\n%s", b3.String())
+	}
+	if !strings.Contains(d.String(), "ibm01") {
+		t.Errorf("Deltas missing circuit:\n%s", d.String())
+	}
+	if !strings.Contains(sum.String(), "GSINO") {
+		t.Errorf("Summary missing flows:\n%s", sum.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := populated()
+	var b strings.Builder
+	s.CSV(&b)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// Header + 2 rates x 3 flows.
+	if len(lines) != 7 {
+		t.Fatalf("CSV has %d lines, want 7:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "circuit,rate,flow") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 12 {
+			t.Errorf("CSV row has %d commas, want 12: %q", got, l)
+		}
+	}
+}
+
+func TestPaperNumbersPresent(t *testing.T) {
+	p := Paper()
+	if len(p) != 6 {
+		t.Fatalf("paper rows = %d, want 6", len(p))
+	}
+	// Spot-check against the published tables.
+	if p["ibm01"].Viol30Pct != 14.60 || p["ibm05"].Viol50Pct != 24.07 {
+		t.Error("Table 1 constants wrong")
+	}
+	if p["ibm03"].WLOverhead50 != 16.38 {
+		t.Error("Table 2 constants wrong")
+	}
+	if p["ibm06"].GSINOArea50 != 11.00 || p["ibm02"].ISINOArea30 != 17.99 {
+		t.Error("Table 3 constants wrong")
+	}
+}
+
+func TestEmptySetRenders(t *testing.T) {
+	s := NewSet()
+	var b strings.Builder
+	s.Table1(&b)
+	s.Table2(&b)
+	s.Table3(&b)
+	s.Deltas(&b)
+	s.CSV(&b)
+	if !strings.Contains(b.String(), "Table 1") {
+		t.Error("headers missing for empty set")
+	}
+}

@@ -1,0 +1,473 @@
+// Package route implements the paper's Phase I global router: the
+// iterative-deletion (ID) algorithm of Cong–Preas as extended by Ma–He with
+// shielding-area-aware edge weights (paper §3.1, Figure 1).
+//
+// Every net starts with its full connection graph — all regions inside its
+// pin bounding box, with edges between adjacent regions. The router
+// repeatedly removes the highest-weight edge whose removal keeps the net's
+// pin regions connected; edges that have become bridges between pins are
+// frozen. At the fixpoint each net's surviving edges form exactly a Steiner
+// tree over its pin regions.
+//
+// A horizontal edge's weight follows Formula (2):
+//
+//	w(e) = α·f(WL) + β·HD(R) + γ·HOFR(R)
+//
+// with f(WL) the edge length normalized by the net's estimated RSMT length,
+// HD the horizontal track density HU/HC, and HOFR the relative horizontal
+// overflow. When the router is shield-aware (GSINO), HU includes the
+// expected shield demand Nss from Formula (3), so regions dense with
+// sensitive nets look expensive and the router spreads sensitive nets out;
+// the baselines (ID+NO, iSINO) exclude Nss. Vertical edges are symmetric.
+//
+// Expected utilization during deletion is probabilistic: a net contributes
+// n/2 tracks to a region crossed by n of its surviving candidate edges in
+// that direction (n ∈ {0,1,2}). The estimate starts pessimistic and
+// converges to the true usage as graphs shrink to trees, and it only
+// decreases — which makes lazy priority-queue maintenance sound.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/sino"
+	"repro/internal/steiner"
+)
+
+// Net is a routing request: the regions containing the net's pins.
+type Net struct {
+	ID   int
+	Pins []geom.Point // pin regions; duplicates allowed (deduped internally)
+	Rate float64      // sensitivity rate S_i, used by shield-aware weights
+}
+
+// Config tunes the router.
+type Config struct {
+	// Alpha, Beta, Gamma weight wire length, density, and overflow in
+	// Formula (2). Zero values select the paper's α=2, β=1, γ=50.
+	Alpha, Beta, Gamma float64
+
+	// ShieldAware includes the Formula (3) shield estimate in track
+	// utilization (the GSINO router). Baselines set it false.
+	ShieldAware bool
+
+	// Coeffs are the Formula (3) coefficients; zero value selects the
+	// fitted defaults.
+	Coeffs sino.ShieldCoeffs
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 && c.Beta == 0 && c.Gamma == 0 {
+		c.Alpha, c.Beta, c.Gamma = 2, 1, 50
+	}
+	if c.Coeffs == (sino.ShieldCoeffs{}) {
+		c.Coeffs = sino.DefaultShieldCoeffs()
+	}
+	return c
+}
+
+// Edge is one tree edge between two adjacent regions.
+type Edge struct {
+	From, To geom.Point // From < To in scan order
+}
+
+// Horizontal reports whether the edge crosses between horizontal neighbors.
+func (e Edge) Horizontal() bool { return e.From.Y == e.To.Y }
+
+// Tree is a net's final route: a Steiner tree over its pin regions.
+// Regions lists every region the tree touches (pin regions included even
+// for single-region nets, which have no edges).
+type Tree struct {
+	Net     int
+	Edges   []Edge
+	Regions []geom.Point
+}
+
+// WirelengthUM returns the physical tree length: edges span region centers.
+func (t *Tree) WirelengthUM(g *grid.Grid) geom.Micron {
+	var wl geom.Micron
+	for _, e := range t.Edges {
+		if e.Horizontal() {
+			wl += g.CellW
+		} else {
+			wl += g.CellH
+		}
+	}
+	return wl
+}
+
+// Result is the routing outcome for all nets.
+type Result struct {
+	Trees []Tree
+	// Usage is the exact per-region track demand of the routed nets
+	// (one track per net per region per direction used; no shields).
+	Usage *grid.Usage
+}
+
+// TotalWirelengthUM sums tree wirelengths.
+func (r *Result) TotalWirelengthUM(g *grid.Grid) geom.Micron {
+	var wl geom.Micron
+	for i := range r.Trees {
+		wl += r.Trees[i].WirelengthUM(g)
+	}
+	return wl
+}
+
+// netState is the per-net connection graph during deletion.
+type netState struct {
+	id   int
+	bbox geom.Rect
+	w, h int // bbox dims in regions
+
+	pinMask []bool // per local vertex
+	npins   int
+
+	aliveH []bool // local horizontal edges: (w-1)*h
+	aliveV []bool // local vertical edges: w*(h-1)
+	nAlive int
+
+	frozenH []bool
+	frozenV []bool
+
+	rsmtUM geom.Micron // RSMT estimate for f(WL) normalization
+	rate   float64
+
+	// spineDist[v] is the BFS distance from local vertex v to the net's
+	// estimated RSMT spine; the f(WL) term grows with it, so edges far from
+	// the spine are deleted first and the surviving tree stays short.
+	spineDist []int32
+	spineNorm float64
+}
+
+func (n *netState) vertex(x, y int) int { return (y-n.bbox.MinY)*n.w + (x - n.bbox.MinX) }
+
+// hEdge returns the local index of the horizontal edge between (x,y)-(x+1,y).
+func (n *netState) hEdge(x, y int) int { return (y-n.bbox.MinY)*(n.w-1) + (x - n.bbox.MinX) }
+
+// vEdge returns the local index of the vertical edge between (x,y)-(x,y+1).
+func (n *netState) vEdge(x, y int) int { return (y-n.bbox.MinY)*n.w + (x - n.bbox.MinX) }
+
+// Router carries the shared deletion state.
+type Router struct {
+	g   *grid.Grid
+	cfg Config
+
+	nets []netState
+
+	// Per-region expected utilization per direction: segment count and
+	// sensitivity-rate sums feeding Formula (3).
+	nnsH, nnsV     []float64
+	sumSH, sumSV   []float64
+	sumS2H, sumS2V []float64
+
+	pq edgeHeap
+}
+
+// item is a heap entry (lazy: may be stale).
+type item struct {
+	net  int32
+	edge int32
+	horz bool
+	key  float64
+}
+
+type edgeHeap []item
+
+func (h edgeHeap) Len() int            { return len(h) }
+func (h edgeHeap) Less(i, j int) bool  { return h[i].key > h[j].key } // max-heap
+func (h edgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *edgeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewRouter prepares the deletion state for the nets on g.
+func NewRouter(g *grid.Grid, cfg Config, nets []Net) (*Router, error) {
+	if g == nil {
+		return nil, fmt.Errorf("route: nil grid")
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{
+		g: g, cfg: cfg,
+		nnsH: make([]float64, g.NumRegions()), nnsV: make([]float64, g.NumRegions()),
+		sumSH: make([]float64, g.NumRegions()), sumSV: make([]float64, g.NumRegions()),
+		sumS2H: make([]float64, g.NumRegions()), sumS2V: make([]float64, g.NumRegions()),
+	}
+	bounds := g.Bounds()
+	for _, net := range nets {
+		if len(net.Pins) == 0 {
+			return nil, fmt.Errorf("route: net %d has no pin regions", net.ID)
+		}
+		for _, p := range net.Pins {
+			if !bounds.Contains(p) {
+				return nil, fmt.Errorf("route: net %d pin region %v outside grid", net.ID, p)
+			}
+		}
+		if net.Rate < 0 || net.Rate > 1 {
+			return nil, fmt.Errorf("route: net %d sensitivity rate %g outside [0,1]", net.ID, net.Rate)
+		}
+		r.addNet(net)
+	}
+	heap.Init(&r.pq)
+	return r, nil
+}
+
+func (r *Router) addNet(net Net) {
+	bbox := geom.RectFromPoints(net.Pins)
+	w, h := bbox.Width(), bbox.Height()
+	ns := netState{
+		id: net.ID, bbox: bbox, w: w, h: h,
+		pinMask: make([]bool, w*h),
+		aliveH:  make([]bool, (w-1)*h),
+		aliveV:  make([]bool, w*(h-1)),
+		frozenH: make([]bool, (w-1)*h),
+		frozenV: make([]bool, w*(h-1)),
+		rate:    net.Rate,
+	}
+	pinRegions := make([]geom.Point, 0, len(net.Pins))
+	for _, p := range net.Pins {
+		v := ns.vertex(p.X, p.Y)
+		if !ns.pinMask[v] {
+			ns.pinMask[v] = true
+			ns.npins++
+			pinRegions = append(pinRegions, p)
+		}
+	}
+	ns.rsmtUM = steiner.LengthMicron(pinRegions, r.g.CellW, r.g.CellH)
+	ns.buildSpine(pinRegions)
+
+	for i := range ns.aliveH {
+		ns.aliveH[i] = true
+	}
+	for i := range ns.aliveV {
+		ns.aliveV[i] = true
+	}
+	ns.nAlive = len(ns.aliveH) + len(ns.aliveV)
+	idx := len(r.nets)
+	r.nets = append(r.nets, ns)
+
+	// Seed expected utilization and the heap.
+	for y := bbox.MinY; y <= bbox.MaxY; y++ {
+		for x := bbox.MinX; x < bbox.MaxX; x++ {
+			r.bumpH(x, y, ns.rate, +0.5)
+			r.bumpH(x+1, y, ns.rate, +0.5)
+		}
+	}
+	for y := bbox.MinY; y < bbox.MaxY; y++ {
+		for x := bbox.MinX; x <= bbox.MaxX; x++ {
+			r.bumpV(x, y, ns.rate, +0.5)
+			r.bumpV(x, y+1, ns.rate, +0.5)
+		}
+	}
+	ns2 := &r.nets[idx]
+	for y := bbox.MinY; y <= bbox.MaxY; y++ {
+		for x := bbox.MinX; x < bbox.MaxX; x++ {
+			r.pq = append(r.pq, item{net: int32(idx), edge: int32(ns2.hEdge(x, y)), horz: true,
+				key: r.edgeWeight(idx, x, y, true)})
+		}
+	}
+	for y := bbox.MinY; y < bbox.MaxY; y++ {
+		for x := bbox.MinX; x <= bbox.MaxX; x++ {
+			r.pq = append(r.pq, item{net: int32(idx), edge: int32(ns2.vEdge(x, y)), horz: false,
+				key: r.edgeWeight(idx, x, y, false)})
+		}
+	}
+}
+
+// buildSpine rasterizes the estimated RSMT topology into the bbox (each
+// topology edge embedded as a horizontal-then-vertical L) and computes every
+// local vertex's BFS distance from that spine.
+func (n *netState) buildSpine(pins []geom.Point) {
+	n.spineDist = make([]int32, n.w*n.h)
+	for i := range n.spineDist {
+		n.spineDist[i] = -1
+	}
+	points, edges := steiner.Topology(pins)
+	queue := make([]int, 0, n.w*n.h)
+	mark := func(p geom.Point) {
+		v := n.vertex(p.X, p.Y)
+		if n.spineDist[v] < 0 {
+			n.spineDist[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	for _, p := range points {
+		mark(p)
+	}
+	for _, e := range edges {
+		a, b := points[e[0]], points[e[1]]
+		step := func(from, to int) int {
+			if to > from {
+				return 1
+			}
+			return -1
+		}
+		if a.X != b.X {
+			d := step(a.X, b.X)
+			for x := a.X; x != b.X; x += d {
+				mark(geom.Point{X: x, Y: a.Y})
+			}
+		}
+		if a.Y != b.Y {
+			d := step(a.Y, b.Y)
+			for y := a.Y; y != b.Y; y += d {
+				mark(geom.Point{X: b.X, Y: y})
+			}
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		vx, vy := v%n.w, v/n.w
+		for _, nb := range [4][2]int{{vx - 1, vy}, {vx + 1, vy}, {vx, vy - 1}, {vx, vy + 1}} {
+			if nb[0] < 0 || nb[0] >= n.w || nb[1] < 0 || nb[1] >= n.h {
+				continue
+			}
+			nv := nb[1]*n.w + nb[0]
+			if n.spineDist[nv] < 0 {
+				n.spineDist[nv] = n.spineDist[v] + 1
+				queue = append(queue, nv)
+			}
+		}
+	}
+	n.spineNorm = float64(n.w+n.h) / 2
+	if n.spineNorm < 1 {
+		n.spineNorm = 1
+	}
+}
+
+// spineFactor returns the f(WL) multiplier for an edge between local
+// vertices a and b: 1 on the spine, growing with distance from it.
+func (n *netState) spineFactor(a, b int) float64 {
+	d := float64(n.spineDist[a]+n.spineDist[b]) / 2
+	return 1 + 2*d/n.spineNorm
+}
+
+// bumpH adjusts the expected horizontal utilization sums of region (x,y).
+func (r *Router) bumpH(x, y int, rate, delta float64) {
+	i := y*r.g.Cols + x
+	r.nnsH[i] += delta
+	r.sumSH[i] += delta * rate
+	r.sumS2H[i] += delta * rate * rate
+}
+
+func (r *Router) bumpV(x, y int, rate, delta float64) {
+	i := y*r.g.Cols + x
+	r.nnsV[i] += delta
+	r.sumSV[i] += delta * rate
+	r.sumS2V[i] += delta * rate * rate
+}
+
+// regionHU returns the expected horizontal utilization of region index i,
+// including the shield estimate when shield-aware, minus the contribution
+// ownNns/ownRate of the net whose edge is being weighed: a net occupies one
+// track regardless of which of its candidate edges survive, so it must not
+// repel itself (and the exclusion keeps weights monotone, since an own-edge
+// deletion cancels out of HU−own).
+func (r *Router) regionHU(i int, ownNns, ownRate float64) float64 {
+	nns := r.nnsH[i] - ownNns
+	if nns < 0 {
+		nns = 0
+	}
+	hu := nns
+	if r.cfg.ShieldAware {
+		hu += r.cfg.Coeffs.Estimate(nns, r.sumSH[i]-ownNns*ownRate, r.sumS2H[i]-ownNns*ownRate*ownRate)
+	}
+	return hu
+}
+
+func (r *Router) regionVU(i int, ownNns, ownRate float64) float64 {
+	nns := r.nnsV[i] - ownNns
+	if nns < 0 {
+		nns = 0
+	}
+	vu := nns
+	if r.cfg.ShieldAware {
+		vu += r.cfg.Coeffs.Estimate(nns, r.sumSV[i]-ownNns*ownRate, r.sumS2V[i]-ownNns*ownRate*ownRate)
+	}
+	return vu
+}
+
+// ownH counts net ns's surviving horizontal edges incident to region (x,y),
+// each contributing 0.5 expected tracks.
+func (ns *netState) ownH(x, y int) float64 {
+	n := 0.0
+	if y >= ns.bbox.MinY && y <= ns.bbox.MaxY {
+		if x > ns.bbox.MinX && x <= ns.bbox.MaxX && ns.aliveH[ns.hEdge(x-1, y)] {
+			n += 0.5
+		}
+		if x >= ns.bbox.MinX && x < ns.bbox.MaxX && ns.aliveH[ns.hEdge(x, y)] {
+			n += 0.5
+		}
+	}
+	return n
+}
+
+func (ns *netState) ownV(x, y int) float64 {
+	n := 0.0
+	if x >= ns.bbox.MinX && x <= ns.bbox.MaxX {
+		if y > ns.bbox.MinY && y <= ns.bbox.MaxY && ns.aliveV[ns.vEdge(x, y-1)] {
+			n += 0.5
+		}
+		if y >= ns.bbox.MinY && y < ns.bbox.MaxY && ns.aliveV[ns.vEdge(x, y)] {
+			n += 0.5
+		}
+	}
+	return n
+}
+
+// edgeWeight evaluates Formula (2) for the edge of net netIdx anchored at
+// region (x,y) in the given direction (the edge spans (x,y)-(x+1,y) or
+// (x,y)-(x,y+1)).
+func (r *Router) edgeWeight(netIdx, x, y int, horz bool) float64 {
+	ns := &r.nets[netIdx]
+	var lenUM geom.Micron
+	var d1, d2, o1, o2 float64
+	var va, vb int
+	i1 := y*r.g.Cols + x
+	if horz {
+		lenUM = r.g.CellW
+		i2 := y*r.g.Cols + x + 1
+		cap := float64(r.g.HC)
+		hu1 := r.regionHU(i1, ns.ownH(x, y), ns.rate)
+		hu2 := r.regionHU(i2, ns.ownH(x+1, y), ns.rate)
+		d1, d2 = hu1/cap, hu2/cap
+		o1, o2 = relOver(hu1, cap), relOver(hu2, cap)
+		va, vb = ns.vertex(x, y), ns.vertex(x+1, y)
+	} else {
+		lenUM = r.g.CellH
+		i2 := (y+1)*r.g.Cols + x
+		cap := float64(r.g.VC)
+		vu1 := r.regionVU(i1, ns.ownV(x, y), ns.rate)
+		vu2 := r.regionVU(i2, ns.ownV(x, y+1), ns.rate)
+		d1, d2 = vu1/cap, vu2/cap
+		o1, o2 = relOver(vu1, cap), relOver(vu2, cap)
+		va, vb = ns.vertex(x, y), ns.vertex(x, y+1)
+	}
+	fwl := 0.0
+	if ns.rsmtUM > 0 {
+		fwl = float64(lenUM) / float64(ns.rsmtUM) * ns.spineFactor(va, vb)
+	}
+	den := d1
+	if d2 > den {
+		den = d2
+	}
+	ofr := o1
+	if o2 > ofr {
+		ofr = o2
+	}
+	return r.cfg.Alpha*fwl + r.cfg.Beta*den + r.cfg.Gamma*ofr
+}
+
+func relOver(hu, cap float64) float64 {
+	if hu <= cap {
+		return 0
+	}
+	return (hu - cap) / cap
+}

@@ -1,0 +1,264 @@
+package route
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// weightSlack is the tolerance for treating a recomputed edge weight as
+// current; weights only decrease (see package comment), so a pop whose
+// recomputed weight sits within the slack of its key is the true maximum.
+const weightSlack = 1e-6
+
+// Run executes the iterative deletion to the fixpoint and extracts each
+// net's Steiner tree.
+func (r *Router) Run() *Result {
+	for r.pq.Len() > 0 {
+		it := heap.Pop(&r.pq).(item)
+		ns := &r.nets[it.net]
+		var alive, frozen []bool
+		if it.horz {
+			alive, frozen = ns.aliveH, ns.frozenH
+		} else {
+			alive, frozen = ns.aliveV, ns.frozenV
+		}
+		if !alive[it.edge] || frozen[it.edge] {
+			continue
+		}
+		x, y := r.edgeOrigin(ns, int(it.edge), it.horz)
+		w := r.edgeWeight(int(it.net), x, y, it.horz)
+		if w < it.key-weightSlack {
+			it.key = w
+			heap.Push(&r.pq, it)
+			continue
+		}
+		if r.disconnectsPins(ns, int(it.edge), it.horz) {
+			frozen[it.edge] = true
+			continue
+		}
+		// Delete the edge and release its expected utilization.
+		alive[it.edge] = false
+		ns.nAlive--
+		if it.horz {
+			r.bumpH(x, y, ns.rate, -0.5)
+			r.bumpH(x+1, y, ns.rate, -0.5)
+		} else {
+			r.bumpV(x, y, ns.rate, -0.5)
+			r.bumpV(x, y+1, ns.rate, -0.5)
+		}
+	}
+	return r.extract()
+}
+
+// edgeOrigin recovers the global anchor region (x, y) of a local edge index.
+func (r *Router) edgeOrigin(ns *netState, e int, horz bool) (int, int) {
+	if horz {
+		return ns.bbox.MinX + e%(ns.w-1), ns.bbox.MinY + e/(ns.w-1)
+	}
+	return ns.bbox.MinX + e%ns.w, ns.bbox.MinY + e/ns.w
+}
+
+// disconnectsPins reports whether removing edge e would disconnect the
+// net's pin regions in its surviving subgraph. BFS from one pin with the
+// edge masked.
+func (r *Router) disconnectsPins(ns *netState, e int, horz bool) bool {
+	if ns.npins <= 1 {
+		return false
+	}
+	start := -1
+	for v, isPin := range ns.pinMask {
+		if isPin {
+			start = v
+			break
+		}
+	}
+	visited := make([]bool, ns.w*ns.h)
+	queue := make([]int, 0, ns.w*ns.h)
+	visited[start] = true
+	queue = append(queue, start)
+	seen := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		vx, vy := v%ns.w, v/ns.w // local coords
+		// Neighbors through alive, unmasked edges.
+		try := func(nv int, edgeIdx int, edgeHorz bool) {
+			var alive []bool
+			if edgeHorz {
+				alive = ns.aliveH
+			} else {
+				alive = ns.aliveV
+			}
+			if !alive[edgeIdx] || (edgeHorz == horz && edgeIdx == e) {
+				return
+			}
+			if !visited[nv] {
+				visited[nv] = true
+				if ns.pinMask[nv] {
+					seen++
+				}
+				queue = append(queue, nv)
+			}
+		}
+		if vx > 0 {
+			try(v-1, vy*(ns.w-1)+vx-1, true)
+		}
+		if vx < ns.w-1 {
+			try(v+1, vy*(ns.w-1)+vx, true)
+		}
+		if vy > 0 {
+			try(v-ns.w, (vy-1)*ns.w+vx, false)
+		}
+		if vy < ns.h-1 {
+			try(v+ns.w, vy*ns.w+vx, false)
+		}
+	}
+	return seen < ns.npins
+}
+
+// extract materializes the surviving edges into trees and exact usage.
+func (r *Router) extract() *Result {
+	res := &Result{
+		Trees: make([]Tree, len(r.nets)),
+		Usage: grid.NewUsage(r.g),
+	}
+	for ni := range r.nets {
+		ns := &r.nets[ni]
+		tree := Tree{Net: ns.id}
+		hTouched := make(map[geom.Point]bool)
+		vTouched := make(map[geom.Point]bool)
+		for e, alive := range ns.aliveH {
+			if !alive {
+				continue
+			}
+			x, y := r.edgeOrigin(ns, e, true)
+			tree.Edges = append(tree.Edges, Edge{
+				From: geom.Point{X: x, Y: y}, To: geom.Point{X: x + 1, Y: y},
+			})
+			hTouched[geom.Point{X: x, Y: y}] = true
+			hTouched[geom.Point{X: x + 1, Y: y}] = true
+		}
+		for e, alive := range ns.aliveV {
+			if !alive {
+				continue
+			}
+			x, y := r.edgeOrigin(ns, e, false)
+			tree.Edges = append(tree.Edges, Edge{
+				From: geom.Point{X: x, Y: y}, To: geom.Point{X: x, Y: y + 1},
+			})
+			vTouched[geom.Point{X: x, Y: y}] = true
+			vTouched[geom.Point{X: x, Y: y + 1}] = true
+		}
+		regionSet := make(map[geom.Point]bool, len(hTouched)+len(vTouched))
+		for p := range hTouched {
+			regionSet[p] = true
+			res.Usage.H[r.g.Index(p)]++
+		}
+		for p := range vTouched {
+			regionSet[p] = true
+			res.Usage.V[r.g.Index(p)]++
+		}
+		// Pin regions are part of the route even when edgeless.
+		for v, isPin := range ns.pinMask {
+			if isPin {
+				p := geom.Point{X: ns.bbox.MinX + v%ns.w, Y: ns.bbox.MinY + v/ns.w}
+				regionSet[p] = true
+			}
+		}
+		tree.Regions = make([]geom.Point, 0, len(regionSet))
+		for p := range regionSet {
+			tree.Regions = append(tree.Regions, p)
+		}
+		res.Trees[ni] = tree
+	}
+	return res
+}
+
+// TouchesDirection reports per-direction track occupancy of a tree: the
+// regions where the net holds a horizontal (resp. vertical) track.
+func (t *Tree) TouchesDirection() (h, v map[geom.Point]bool) {
+	h = make(map[geom.Point]bool)
+	v = make(map[geom.Point]bool)
+	for _, e := range t.Edges {
+		if e.Horizontal() {
+			h[e.From] = true
+			h[e.To] = true
+		} else {
+			v[e.From] = true
+			v[e.To] = true
+		}
+	}
+	return h, v
+}
+
+// Connected verifies the tree spans all its pin regions (used by tests).
+func (t *Tree) Connected(pins []geom.Point) bool {
+	if len(pins) <= 1 {
+		return true
+	}
+	adj := make(map[geom.Point][]geom.Point)
+	for _, e := range t.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	visited := map[geom.Point]bool{pins[0]: true}
+	queue := []geom.Point{pins[0]}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, q := range adj[p] {
+			if !visited[q] {
+				visited[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	for _, p := range pins {
+		if !visited[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTree verifies the edge set is acyclic and connected over its touched
+// regions (used by tests).
+func (t *Tree) IsTree() bool {
+	if len(t.Edges) == 0 {
+		return true
+	}
+	verts := make(map[geom.Point]bool)
+	for _, e := range t.Edges {
+		verts[e.From] = true
+		verts[e.To] = true
+	}
+	// A connected graph with V vertices and V-1 edges is a tree.
+	if len(t.Edges) != len(verts)-1 {
+		return false
+	}
+	adj := make(map[geom.Point][]geom.Point)
+	for _, e := range t.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	var start geom.Point
+	for p := range verts {
+		start = p
+		break
+	}
+	visited := map[geom.Point]bool{start: true}
+	queue := []geom.Point{start}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, q := range adj[p] {
+			if !visited[q] {
+				visited[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	return len(visited) == len(verts)
+}

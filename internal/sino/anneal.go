@@ -1,0 +1,128 @@
+package sino
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AnnealOptions tunes the simulated-annealing solver.
+type AnnealOptions struct {
+	Seed       int64
+	Iterations int     // move attempts; 0 selects 400·n
+	T0         float64 // initial temperature; 0 selects 4
+	Cooling    float64 // geometric factor per epoch; 0 selects 0.95
+}
+
+// Anneal refines a SINO solution by simulated annealing over the joint
+// ordering/shielding space: swap tracks, relocate tracks, insert or remove
+// shields. It starts from the greedy solution and never returns anything
+// worse. Full O(n²) cost evaluation per move limits it to small instances
+// (coefficient fitting, optimality cross-checks); production routing uses
+// Solve.
+func Anneal(in *Instance, opts AnnealOptions) (*Solution, *Check) {
+	if err := in.Validate(); err != nil {
+		panic(err.Error())
+	}
+	n := len(in.Segs)
+	if opts.Iterations <= 0 {
+		opts.Iterations = 400 * max(n, 1)
+	}
+	if opts.T0 <= 0 {
+		opts.T0 = 4
+	}
+	if opts.Cooling <= 0 {
+		opts.Cooling = 0.95
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	best, _ := Solve(in)
+	if n == 0 {
+		return best, in.Verify(best)
+	}
+	cur := best.Clone()
+	bestCost := in.annealCost(best)
+	curCost := bestCost
+
+	temp := opts.T0
+	epoch := max(opts.Iterations/30, 1)
+	for it := 0; it < opts.Iterations; it++ {
+		trial := in.mutate(cur, rng)
+		if trial == nil {
+			continue
+		}
+		cost := in.annealCost(trial)
+		if cost <= curCost || rng.Float64() < math.Exp((curCost-cost)/temp) {
+			cur, curCost = trial, cost
+			if cost < bestCost {
+				best, bestCost = trial.Clone(), cost
+			}
+		}
+		if (it+1)%epoch == 0 {
+			temp *= opts.Cooling
+		}
+	}
+	return best, in.Verify(best)
+}
+
+// annealCost scores a solution: area plus heavy penalties for constraint
+// violations, so feasible small solutions always win.
+func (in *Instance) annealCost(s *Solution) float64 {
+	chk := in.Verify(s)
+	cost := float64(s.NumTracks())
+	cost += 50 * float64(len(chk.CapPairs))
+	for _, seg := range chk.Over {
+		cost += 50 * (chk.K[seg] - in.Segs[seg].Kth) / in.Segs[seg].Kth
+	}
+	return cost
+}
+
+// mutate returns a modified copy of s, or nil when the chosen move does not
+// apply.
+func (in *Instance) mutate(s *Solution, rng *rand.Rand) *Solution {
+	t := s.Clone()
+	n := len(t.Tracks)
+	switch rng.Intn(4) {
+	case 0: // swap two tracks
+		if n < 2 {
+			return nil
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		t.Tracks[a], t.Tracks[b] = t.Tracks[b], t.Tracks[a]
+	case 1: // relocate a track
+		if n < 2 {
+			return nil
+		}
+		from := rng.Intn(n)
+		v := t.Tracks[from]
+		t.Tracks = append(t.Tracks[:from], t.Tracks[from+1:]...)
+		to := rng.Intn(len(t.Tracks) + 1)
+		t.Tracks = append(t.Tracks, 0)
+		copy(t.Tracks[to+1:], t.Tracks[to:])
+		t.Tracks[to] = v
+	case 2: // insert a shield
+		at := rng.Intn(n + 1)
+		t.Tracks = append(t.Tracks, 0)
+		copy(t.Tracks[at+1:], t.Tracks[at:])
+		t.Tracks[at] = Shield
+	case 3: // remove a random shield
+		var shields []int
+		for i, v := range t.Tracks {
+			if v == Shield {
+				shields = append(shields, i)
+			}
+		}
+		if len(shields) == 0 {
+			return nil
+		}
+		at := shields[rng.Intn(len(shields))]
+		t.Tracks = append(t.Tracks[:at], t.Tracks[at+1:]...)
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

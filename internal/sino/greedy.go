@@ -1,0 +1,248 @@
+package sino
+
+import (
+	"sort"
+)
+
+// Solve runs the production SINO heuristic: greedy ordering that keeps
+// sensitive segments apart, shield insertion until the inductive bounds
+// hold, then a shield-removal polish pass toward minimum area. The returned
+// Check is the verification of the returned solution; callers must consult
+// Check.Feasible — an instance whose bounds are tighter than dense shielding
+// can achieve yields the best solution found with its violations reported.
+func Solve(in *Instance) (*Solution, *Check) {
+	if err := in.Validate(); err != nil {
+		panic(err.Error())
+	}
+	s := in.construct(true)
+	in.repairK(s)
+	in.polish(s)
+	return s, in.Verify(s)
+}
+
+// NetOrderOnly runs the NO baseline: pure net ordering, no shields, greedily
+// minimizing adjacent sensitive pairs ("followed by net ordering within each
+// region to eliminate as much capacitive coupling as possible", paper §4).
+// Inductive bounds are not enforced — that is the point of the baseline.
+func NetOrderOnly(in *Instance) (*Solution, *Check) {
+	if err := in.Validate(); err != nil {
+		panic(err.Error())
+	}
+	s := in.construct(false)
+	in.improveOrdering(s)
+	return s, in.Verify(s)
+}
+
+// construct builds an initial sequence. Segments are taken in decreasing
+// conflict-degree order; at each step the highest-degree segment not
+// sensitive to the last placed one is appended. When every remaining
+// segment conflicts, a shield is appended (withShields) or the
+// least-conflicting segment is accepted (ordering-only).
+func (in *Instance) construct(withShields bool) *Solution {
+	n := len(in.Segs)
+	deg := in.conflictDegree()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := deg[order[a]], deg[order[b]]
+		if da != db {
+			return da > db
+		}
+		// Tie-break: tighter bound first, so constrained segments get
+		// favorable (edge) positions.
+		return in.Segs[order[a]].Kth < in.Segs[order[b]].Kth
+	})
+
+	placed := make([]bool, n)
+	tracks := make([]int, 0, n)
+	last := Shield // nothing yet; shields clear adjacency
+	for count := 0; count < n; {
+		pick := -1
+		for _, cand := range order {
+			if placed[cand] {
+				continue
+			}
+			if last == Shield || !in.sensitiveSegs(last, cand) {
+				pick = cand
+				break
+			}
+		}
+		if pick < 0 {
+			if withShields {
+				tracks = append(tracks, Shield)
+				last = Shield
+				continue
+			}
+			// Ordering-only: accept the least-conflicting remaining segment.
+			best, bestDeg := -1, int(^uint(0)>>1)
+			for _, cand := range order {
+				if !placed[cand] {
+					if deg[cand] < bestDeg {
+						best, bestDeg = cand, deg[cand]
+					}
+				}
+			}
+			pick = best
+		}
+		tracks = append(tracks, pick)
+		placed[pick] = true
+		last = pick
+		count++
+	}
+	return &Solution{Tracks: tracks}
+}
+
+// repairK inserts shields until every segment meets its inductive bound or
+// no further progress is possible. Each round targets the worst violator
+// and shields its heavier-coupled side. When a bound is tighter than dense
+// shielding can reach, the worst violator's coupling stagnates; the loop
+// detects that and stops instead of burning the shield budget.
+func (in *Instance) repairK(s *Solution) {
+	maxShields := 2*len(in.Segs) + 2
+	stagnant := 0
+	lastWorst := -1
+	lastK := 0.0
+	for iter := 0; ; iter++ {
+		k := in.TotalK(s)
+		worst, worstOver := -1, 0.0
+		for i, seg := range in.Segs {
+			if over := (k[i] - seg.Kth) / seg.Kth; over > worstOver {
+				worst, worstOver = i, over
+			}
+		}
+		if worst < 0 || s.NumShields() >= maxShields || iter > 4*len(in.Segs) {
+			return
+		}
+		if worst == lastWorst && k[worst] > lastK*0.99 {
+			stagnant++
+			if stagnant >= 3 {
+				return // insertions no longer help this segment
+			}
+		} else {
+			stagnant = 0
+		}
+		lastWorst, lastK = worst, k[worst]
+
+		// Track position of the worst violator.
+		pos := -1
+		for t, seg := range s.Tracks {
+			if seg == worst {
+				pos = t
+				break
+			}
+		}
+		left, right := in.sidePull(s, pos)
+		at := pos // insert left of pos
+		if right > left {
+			at = pos + 1
+		}
+		// Skip useless insertion directly beside an existing shield.
+		if at > 0 && s.Tracks[at-1] == Shield {
+			at = pos
+		}
+		if at > 0 && s.Tracks[at-1] == Shield && at < len(s.Tracks) && s.Tracks[at] == Shield {
+			return // boxed in by shields already; no insertion can help
+		}
+		s.Tracks = append(s.Tracks, 0)
+		copy(s.Tracks[at+1:], s.Tracks[at:])
+		s.Tracks[at] = Shield
+	}
+}
+
+// Repair improves an existing solution in place toward feasibility by
+// shield insertion only, without reordering or polish — the cheap re-solve
+// used by Phase III refinement, where bounds change a little at a time and
+// the existing ordering is worth keeping.
+func Repair(in *Instance, s *Solution) *Check {
+	if err := in.Validate(); err != nil {
+		panic(err.Error())
+	}
+	in.repairK(s)
+	return in.Verify(s)
+}
+
+// sidePull sums the violating segment's couplings to sensitive segments on
+// each side of track position pos.
+func (in *Instance) sidePull(s *Solution, pos int) (left, right float64) {
+	l := in.Layout(s)
+	seg := s.Tracks[pos]
+	for t, other := range s.Tracks {
+		if t == pos || other == Shield || !in.sensitiveSegs(seg, other) {
+			continue
+		}
+		k := in.Model.PairCoupling(l, pos, t)
+		if t < pos {
+			left += k
+		} else {
+			right += k
+		}
+	}
+	return left, right
+}
+
+// polish removes shields that are no longer needed. Verification is O(n²),
+// so passes are bounded: the first pass catches almost every removable
+// shield in practice.
+func (in *Instance) polish(s *Solution) {
+	if !in.Verify(s).Feasible() {
+		return // keep every shield while infeasible
+	}
+	for pass := 0; pass < 2; pass++ {
+		removed := false
+		for t := len(s.Tracks) - 1; t >= 0; t-- {
+			if s.Tracks[t] != Shield {
+				continue
+			}
+			trial := &Solution{Tracks: append(append([]int(nil), s.Tracks[:t]...), s.Tracks[t+1:]...)}
+			if in.Verify(trial).Feasible() {
+				s.Tracks = trial.Tracks
+				removed = true
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// capPairCount counts adjacent sensitive pairs in O(n), the NO objective.
+func (in *Instance) capPairCount(s *Solution) int {
+	n := 0
+	prev := Shield
+	for _, seg := range s.Tracks {
+		if seg == Shield {
+			prev = Shield
+			continue
+		}
+		if prev != Shield && in.sensitiveSegs(prev, seg) {
+			n++
+		}
+		prev = seg
+	}
+	return n
+}
+
+// improveOrdering hill-climbs adjacent swaps to reduce the number of
+// adjacent sensitive pairs (the NO objective). A swap only affects the
+// adjacencies it touches, but the O(n) recount is cheap enough at region
+// scale; passes are bounded.
+func (in *Instance) improveOrdering(s *Solution) {
+	current := in.capPairCount(s)
+	for pass := 0; pass < 4 && current > 0; pass++ {
+		improved := false
+		for t := 0; t+1 < len(s.Tracks); t++ {
+			s.Tracks[t], s.Tracks[t+1] = s.Tracks[t+1], s.Tracks[t]
+			if c := in.capPairCount(s); c < current {
+				current = c
+				improved = true
+			} else {
+				s.Tracks[t], s.Tracks[t+1] = s.Tracks[t+1], s.Tracks[t]
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package sino
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws a solution as one text line, the notation used throughout
+// the SINO literature: `|` for the region walls (pre-routed P/G), `S` for a
+// shield track, and each segment's net identifier. Sensitive adjacent pairs
+// are joined with `*` so capacitive violations stand out.
+//
+//	| n3 S n1 n7 * n2 |
+func (in *Instance) Render(s *Solution) string {
+	var b strings.Builder
+	b.WriteString("|")
+	prev := Shield
+	for _, seg := range s.Tracks {
+		if seg == Shield {
+			b.WriteString(" S")
+			prev = Shield
+			continue
+		}
+		if prev != Shield && in.sensitiveSegs(prev, seg) {
+			b.WriteString(" *")
+		}
+		fmt.Fprintf(&b, " n%d", in.Segs[seg].Net)
+		prev = seg
+	}
+	b.WriteString(" |")
+	return b.String()
+}
+
+// RenderK appends each segment's coupling status to the rendering:
+// `net(K/Kth)`, flagging violations with `!`.
+func (in *Instance) RenderK(s *Solution) string {
+	k := in.TotalK(s)
+	var b strings.Builder
+	b.WriteString("|")
+	for _, seg := range s.Tracks {
+		if seg == Shield {
+			b.WriteString(" S")
+			continue
+		}
+		mark := ""
+		if k[seg] > in.Segs[seg].Kth {
+			mark = "!"
+		}
+		fmt.Fprintf(&b, " n%d(%.2f/%.2f)%s", in.Segs[seg].Net, k[seg], in.Segs[seg].Kth, mark)
+	}
+	b.WriteString(" |")
+	return b.String()
+}

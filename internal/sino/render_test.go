@@ -1,0 +1,35 @@
+package sino
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	in := testInstance(3, 1, 5, 1)
+	in.Sensitive = func(a, b int) bool { return a+b == 1 } // nets 0 and 1 conflict
+	s := &Solution{Tracks: []int{0, 1, Shield, 2}}
+	got := in.Render(s)
+	if !strings.HasPrefix(got, "|") || !strings.HasSuffix(got, "|") {
+		t.Errorf("missing walls: %q", got)
+	}
+	if !strings.Contains(got, "n0 * n1") {
+		t.Errorf("sensitive adjacency not marked: %q", got)
+	}
+	if !strings.Contains(got, "S n2") {
+		t.Errorf("shield not rendered: %q", got)
+	}
+}
+
+func TestRenderK(t *testing.T) {
+	in := testInstance(2, 1, 1e-9, 1)
+	in.Sensitive = func(a, b int) bool { return a != b }
+	s := &Solution{Tracks: []int{0, Shield, 1}}
+	got := in.RenderK(s)
+	if !strings.Contains(got, "!") {
+		t.Errorf("violations not flagged at absurd Kth: %q", got)
+	}
+	if strings.Count(got, "(") != 2 {
+		t.Errorf("expected 2 K annotations: %q", got)
+	}
+}

@@ -1,0 +1,146 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestLengthSmallNets(t *testing.T) {
+	cases := []struct {
+		pts  []geom.Point
+		want int
+	}{
+		{nil, 0},
+		{[]geom.Point{{X: 3, Y: 3}}, 0},
+		{[]geom.Point{{X: 3, Y: 3}, {X: 3, Y: 3}}, 0}, // duplicates collapse
+		{[]geom.Point{{X: 0, Y: 0}, {X: 5, Y: 0}}, 5},
+		{[]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 4}}, 7},
+		{[]geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 2, Y: 3}}, 7}, // HPWL exact for 3 pins
+	}
+	for _, c := range cases {
+		if got := Length(c.pts); got != c.want {
+			t.Errorf("Length(%v) = %d, want %d", c.pts, got, c.want)
+		}
+	}
+}
+
+func TestFourPinCross(t *testing.T) {
+	// Classic cross: 4 pins at the compass points. MST costs 3 sides
+	// (3 x 8 = 24 via going through pins) while the RSMT uses the center
+	// Steiner point for 16.
+	pts := []geom.Point{{X: 4, Y: 0}, {X: 4, Y: 8}, {X: 0, Y: 4}, {X: 8, Y: 4}}
+	if got := Length(pts); got != 16 {
+		t.Errorf("cross RSMT = %d, want 16", got)
+	}
+	points, edges := Topology(pts)
+	if len(points) != 5 {
+		t.Errorf("expected 1 Steiner point added, got %d points", len(points))
+	}
+	if len(edges) != len(points)-1 {
+		t.Errorf("topology has %d edges for %d points", len(edges), len(points))
+	}
+}
+
+func TestSteinerNeverWorseThanMST(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Intn(20), Y: rng.Intn(20)}
+		}
+		return Length(pts) <= mstLength(dedup(pts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteinerAtLeastHPWL(t *testing.T) {
+	// HPWL is a lower bound on any rectilinear Steiner tree.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Intn(30), Y: rng.Intn(30)}
+		}
+		return Length(pts) >= geom.HPWL(dedup(pts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeNetFallsBackToMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geom.Point, MaxExactPins+5)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Intn(40), Y: rng.Intn(40)}
+	}
+	if got, want := Length(pts), mstLength(dedup(pts)); got != want {
+		t.Errorf("large net Length = %d, want MST %d", got, want)
+	}
+}
+
+func TestLengthMicron(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}}
+	if got := LengthMicron(pts, 100, 50); got != 300 {
+		t.Errorf("horizontal 3-edge net = %v, want 300", got)
+	}
+	ptsV := []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 4}}
+	if got := LengthMicron(ptsV, 100, 50); got != 200 {
+		t.Errorf("vertical 4-edge net = %v, want 200", got)
+	}
+	if got := LengthMicron(pts[:1], 100, 50); got != 0 {
+		t.Errorf("single pin = %v", got)
+	}
+}
+
+func TestTopologySpansAllPins(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Intn(15), Y: rng.Intn(15)}
+		}
+		points, edges := Topology(pts)
+		// Union-find connectivity over the topology edges.
+		parent := make([]int, len(points))
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for _, e := range edges {
+			parent[find(e[0])] = find(e[1])
+		}
+		root := find(0)
+		for i := range points {
+			if find(i) != root {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopologyEmpty(t *testing.T) {
+	points, edges := Topology(nil)
+	if points != nil || edges != nil {
+		t.Errorf("Topology(nil) = %v, %v", points, edges)
+	}
+}
