@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
 	"repro/internal/ibm"
 	"repro/internal/keff"
 	"repro/internal/netlist"
@@ -153,6 +157,131 @@ func BenchmarkSINOSolver(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sino.Solve(in)
+			}
+		})
+	}
+}
+
+// phaseIIJobs routes a scaled IBM circuit and builds the Phase II workload:
+// one SINO instance per non-empty (region, direction), exactly the batch
+// core hands to the engine, reconstructed here from public APIs.
+func phaseIIJobs(b *testing.B, name string, rate float64) ([]engine.Job, *keff.Model) {
+	b.Helper()
+	profile, err := ibm.ProfileByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ckt, err := ibm.Generate(profile, ibm.Options{Seed: 1, Scale: benchScale, SensRate: rate})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := make([]route.Net, len(ckt.Nets.Nets))
+	for i := range ckt.Nets.Nets {
+		nets[i] = route.Net{ID: i, Rate: rate}
+		for _, p := range ckt.Nets.Nets[i].Pins {
+			nets[i].Pins = append(nets[i].Pins, ckt.Grid.RegionOf(p.Loc))
+		}
+	}
+	router, err := route.NewRouter(ckt.Grid, route.Config{ShieldAware: true}, nets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := router.Run()
+
+	type key struct {
+		region int
+		horz   bool
+	}
+	model := keff.NewModel(tech.Default())
+	buckets := make(map[key][]sino.Seg)
+	var order []key
+	add := func(k key, net int) {
+		if _, ok := buckets[k]; !ok {
+			order = append(order, k)
+		}
+		buckets[k] = append(buckets[k], sino.Seg{Net: net, Kth: 0.6, Rate: rate})
+	}
+	for i := range res.Trees {
+		seen := make(map[key]bool)
+		for _, e := range res.Trees[i].Edges {
+			for _, p := range []geom.Point{e.From, e.To} {
+				k := key{ckt.Grid.Index(p), e.Horizontal()}
+				if !seen[k] {
+					seen[k] = true
+					add(k, i)
+				}
+			}
+		}
+	}
+	jobs := make([]engine.Job, 0, len(order))
+	for _, k := range order {
+		jobs = append(jobs, engine.Job{
+			Inst: &sino.Instance{Segs: buckets[k], Sensitive: ckt.Nets.Sensitivity.Sensitive, Model: model},
+			Mode: engine.ModeSolve,
+		})
+	}
+	return jobs, model
+}
+
+// BenchmarkEngineParallel measures Phase II throughput on the engine across
+// worker counts. workers1 is the sequential baseline; on a multi-core
+// machine the higher settings should approach linear speedup (the instances
+// are independent and the shared coupling cache is read-mostly).
+func BenchmarkEngineParallel(b *testing.B) {
+	counts := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		counts = append(counts, n)
+	}
+	for _, name := range []string{"ibm01", "ibm05"} {
+		jobs, model := phaseIIJobs(b, name, 0.5)
+		for _, w := range counts {
+			b.Run(fmt.Sprintf("%s/workers%d", name, w), func(b *testing.B) {
+				e := engine.New(engine.Config{Workers: w, Model: model})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := e.Run(context.Background(), jobs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := engine.FirstError(res); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st := e.Stats()
+				b.ReportMetric(float64(len(jobs)), "instances")
+				b.ReportMetric(st.HitRate()*100, "cachehit%")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineCacheAblation isolates the coupling cache: the same Phase
+// II batch solved sequentially with and without a shared PairCache.
+func BenchmarkEngineCacheAblation(b *testing.B) {
+	jobs, model := phaseIIJobs(b, "ibm01", 0.5)
+	for _, cached := range []bool{false, true} {
+		name := "nocache"
+		if cached {
+			name = "cache"
+		}
+		b.Run(name, func(b *testing.B) {
+			// Engine (and cache) construction stays outside the timed loop;
+			// the cached arm measures shared-cache steady state.
+			e := engine.New(engine.Config{Workers: 1, Model: model})
+			m := model.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if cached {
+					if _, err := e.Run(context.Background(), jobs); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					for j := range jobs {
+						inst := *jobs[j].Inst
+						inst.Model = m
+						sino.Solve(&inst)
+					}
+				}
 			}
 		})
 	}

@@ -26,8 +26,9 @@ func main() {
 	scale := flag.Int("scale", 1, "divide net count and capacities by this factor")
 	seed := flag.Int64("seed", 1, "benchmark generation seed")
 	vth := flag.Float64("vth", 0.15, "crosstalk constraint, volts")
-	verbose := flag.Bool("v", false, "print congestion statistics per flow")
+	verbose := flag.Bool("v", false, "print congestion and engine statistics per flow")
 	congBudget := flag.Bool("congestion-budget", false, "use congestion-weighted crosstalk budgeting in GSINO (paper §5 future work)")
+	workers := flag.Int("workers", 0, "region-solve engine workers (0 = one per CPU); results are identical at any setting")
 	flag.Parse()
 
 	profile, err := ibm.ProfileByName(*circuit)
@@ -44,7 +45,7 @@ func main() {
 		Grid: ckt.Grid,
 		Rate: *rate,
 	}
-	runner, err := core.NewRunner(design, core.Params{VThreshold: *vth, CongestionBudgeting: *congBudget})
+	runner, err := core.NewRunner(design, core.Params{VThreshold: *vth, CongestionBudgeting: *congBudget, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,6 +77,9 @@ func main() {
 			c := out.Congestion
 			fmt.Printf("        density avg H/V %.2f/%.2f, max %.2f/%.2f, overflowed regions %d/%d, segs %d\n",
 				c.AvgHDensity, c.AvgVDensity, c.MaxH, c.MaxV, c.OverflowedH, c.OverflowedV, out.SegTracks)
+			e := out.Engine
+			fmt.Printf("        engine: %d workers, %d instances solved (%d tracks), coupling cache %.1f%% hit\n",
+				e.Workers, e.Jobs, e.Tracks, e.HitRate()*100)
 		}
 		if f == core.FlowGSINO && out.Unfixable > 0 {
 			fmt.Printf("        (GSINO: %d violations unfixable at the K floor)\n", out.Unfixable)

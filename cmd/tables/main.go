@@ -31,6 +31,7 @@ func main() {
 	scale := flag.Int("scale", 4, "benchmark scale divisor (1 = full, paper-comparable)")
 	seed := flag.Int64("seed", 1, "benchmark generation seed")
 	csvPath := flag.String("csv", "", "also write raw outcomes to this CSV file")
+	workers := flag.Int("workers", 0, "region-solve engine workers (0 = one per CPU); results are identical at any setting")
 	flag.Parse()
 
 	set := report.NewSet()
@@ -46,7 +47,7 @@ func main() {
 				log.Fatal(err)
 			}
 			design := &core.Design{Name: profile.Name, Nets: ckt.Nets, Grid: ckt.Grid, Rate: rate}
-			runner, err := core.NewRunner(design, core.Params{})
+			runner, err := core.NewRunner(design, core.Params{Workers: *workers})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -57,8 +58,9 @@ func main() {
 					log.Fatal(err)
 				}
 				set.Add(out)
-				fmt.Fprintf(os.Stderr, "ran %s %s @%.0f%% in %s (%d violations)\n",
-					name, f, rate*100, time.Since(start).Round(time.Millisecond), out.Violations)
+				fmt.Fprintf(os.Stderr, "ran %s %s @%.0f%% in %s (%d violations, %d solves, cache %.0f%% hit)\n",
+					name, f, rate*100, time.Since(start).Round(time.Millisecond),
+					out.Violations, out.Engine.Jobs, out.Engine.HitRate()*100)
 			}
 		}
 	}

@@ -15,10 +15,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/keff"
@@ -64,6 +66,11 @@ type Params struct {
 	// GSINO: after uniform Phase I partitioning, each net's budget is
 	// redistributed across its regions in proportion to local congestion.
 	CongestionBudgeting bool
+
+	// Workers bounds the region-solve engine's worker pool for Phase II
+	// and Phase III; 0 selects one worker per CPU. Results are
+	// bit-identical at every setting — this is purely a throughput knob.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -122,6 +129,11 @@ type Outcome struct {
 
 	Congestion grid.CongestionStats // of the final (shields included) usage
 
+	// Engine reports the region-solve engine's activity during this flow:
+	// instances solved, per-solution track totals, and the coupling-cache
+	// hit rate.
+	Engine engine.Stats
+
 	Runtime time.Duration
 }
 
@@ -152,6 +164,7 @@ type Runner struct {
 	model    *keff.Model
 	budgeter *budget.Budgeter
 	sens     netlist.Sensitivity
+	eng      *engine.Engine
 }
 
 // NewRunner validates the design and prepares shared state.
@@ -170,24 +183,35 @@ func NewRunner(d *Design, p Params) (*Runner, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
+	model := keff.NewModel(p.Tech)
 	return &Runner{
 		params:   p,
 		design:   d,
-		model:    keff.NewModel(p.Tech),
+		model:    model,
 		budgeter: b,
 		sens:     d.Nets.Sensitivity,
+		eng:      engine.New(engine.Config{Workers: p.Workers, Model: model}),
 	}, nil
 }
 
+// Engine exposes the runner's region-solve engine (progress hooks, stats).
+func (r *Runner) Engine() *engine.Engine { return r.eng }
+
 // Run executes the named flow.
 func (r *Runner) Run(f Flow) (*Outcome, error) {
+	return r.RunContext(context.Background(), f)
+}
+
+// RunContext executes the named flow under a context: cancellation stops
+// the region-solve engine between instances and aborts the flow.
+func (r *Runner) RunContext(ctx context.Context, f Flow) (*Outcome, error) {
 	switch f {
 	case FlowIDNO:
-		return r.runIDNO()
+		return r.runIDNO(ctx)
 	case FlowISINO:
-		return r.runISINO()
+		return r.runISINO(ctx)
 	case FlowGSINO:
-		return r.runGSINO()
+		return r.runGSINO(ctx)
 	default:
 		return nil, fmt.Errorf("core: unknown flow %q", f)
 	}

@@ -1,20 +1,27 @@
 package core
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // runIDNO is the conventional baseline: wirelength/congestion-driven ID
 // routing (no shield reservation), then net ordering only in each region.
 // It is blind to inductive crosstalk — the flow whose violations Table 1
 // counts.
-func (r *Runner) runIDNO() (*Outcome, error) {
+func (r *Runner) runIDNO(ctx context.Context) (*Outcome, error) {
 	start := time.Now()
+	engBase := r.eng.Stats()
 	res, err := r.routeAll(false)
 	if err != nil {
 		return nil, err
 	}
 	st := r.buildState(res, budgetManhattan)
-	st.solveAll(true)
+	if err := st.solveAll(ctx, true); err != nil {
+		return nil, err
+	}
 	o := st.outcome(FlowIDNO)
+	o.Engine = r.eng.Stats().Sub(engBase)
 	o.Runtime = time.Since(start)
 	return o, nil
 }
@@ -23,15 +30,19 @@ func (r *Runner) runIDNO() (*Outcome, error) {
 // region with tree-length budgets. Routing is identical, so the wirelength
 // matches ID+NO; the shields inflate the routing area (Table 3's iSINO
 // column).
-func (r *Runner) runISINO() (*Outcome, error) {
+func (r *Runner) runISINO(ctx context.Context) (*Outcome, error) {
 	start := time.Now()
+	engBase := r.eng.Stats()
 	res, err := r.routeAll(false)
 	if err != nil {
 		return nil, err
 	}
 	st := r.buildState(res, budgetTreeLength)
-	st.solveAll(false)
+	if err := st.solveAll(ctx, false); err != nil {
+		return nil, err
+	}
 	o := st.outcome(FlowISINO)
+	o.Engine = r.eng.Stats().Sub(engBase)
 	o.Runtime = time.Since(start)
 	return o, nil
 }
@@ -40,8 +51,9 @@ func (r *Runner) runISINO() (*Outcome, error) {
 // uniformly over Manhattan distances and routes with shield-aware weights;
 // Phase II solves SINO in every region; Phase III locally refines — first
 // eliminating the (detour-induced) violations, then clawing back congestion.
-func (r *Runner) runGSINO() (*Outcome, error) {
+func (r *Runner) runGSINO(ctx context.Context) (*Outcome, error) {
 	start := time.Now()
+	engBase := r.eng.Stats()
 	res, err := r.routeAll(true) // Phase I
 	if err != nil {
 		return nil, err
@@ -50,11 +62,17 @@ func (r *Runner) runGSINO() (*Outcome, error) {
 	if r.params.CongestionBudgeting {
 		st.redistributeByCongestion()
 	}
-	st.solveAll(false)   // Phase II
-	refts := st.refine() // Phase III
+	if err := st.solveAll(ctx, false); err != nil { // Phase II
+		return nil, err
+	}
+	refts, err := st.refine(ctx) // Phase III
+	if err != nil {
+		return nil, err
+	}
 	o := st.outcome(FlowGSINO)
 	o.Refinements = refts.resolves
 	o.Unfixable = refts.unfixable
+	o.Engine = r.eng.Stats().Sub(engBase)
 	o.Runtime = time.Since(start)
 	return o, nil
 }

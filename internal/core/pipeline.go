@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/route"
@@ -177,12 +179,16 @@ func (r *Runner) buildState(res *route.Result, mode budgetMode) *chipState {
 			st.addSeg(st.inst(instKey{g.Index(p), true}), i, span, r.budgeter.ForLength(i, span))
 			continue
 		}
-		for p, inc := range hInc {
-			l := geom.Micron(float64(inc) / 2 * float64(g.CellW))
+		// Iterate incidence maps in sorted region order: segment order within
+		// an instance feeds solver and refinement tie-breaks, and map
+		// iteration order would make full-chip results vary run to run (and
+		// between worker counts, breaking the engine's determinism contract).
+		for _, p := range sortedPoints(hInc) {
+			l := geom.Micron(float64(hInc[p]) / 2 * float64(g.CellW))
 			st.addSeg(st.inst(instKey{g.Index(p), true}), i, l, kth)
 		}
-		for p, inc := range vInc {
-			l := geom.Micron(float64(inc) / 2 * float64(g.CellH))
+		for _, p := range sortedPoints(vInc) {
+			l := geom.Micron(float64(vInc[p]) / 2 * float64(g.CellH))
 			st.addSeg(st.inst(instKey{g.Index(p), false}), i, l, kth)
 		}
 	}
@@ -201,6 +207,21 @@ func (r *Runner) buildState(res *route.Result, mode budgetMode) *chipState {
 	return st
 }
 
+// sortedPoints returns m's keys in (y, x) order.
+func sortedPoints(m map[geom.Point]int) []geom.Point {
+	out := make([]geom.Point, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Y != out[b].Y {
+			return out[a].Y < out[b].Y
+		}
+		return out[a].X < out[b].X
+	})
+	return out
+}
+
 func (st *chipState) inst(k instKey) *regionInst {
 	if in, ok := st.insts[k]; ok {
 		return in
@@ -217,32 +238,79 @@ func (st *chipState) addSeg(in *regionInst, net int, l geom.Micron, kth float64)
 	st.terms[net] = append(st.terms[net], segTerm{inst: in, seg: len(in.segs) - 1})
 }
 
-// solveAll runs the per-region solver for every instance. netOrderOnly
-// selects the NO baseline solver.
-func (st *chipState) solveAll(netOrderOnly bool) {
-	for _, in := range st.orderd {
-		st.solveInst(in, netOrderOnly)
+// job builds the engine job for one instance. The worker pool swaps in its
+// own model clone and the shared coupling cache.
+func (st *chipState) job(in *regionInst, mode engine.Mode) engine.Job {
+	j := engine.Job{
+		Inst: &sino.Instance{Segs: in.segs, Sensitive: st.r.sens.Sensitive, Model: st.r.model},
+		Mode: mode,
 	}
+	if mode == engine.ModeRepair {
+		j.Prev = in.sol
+	}
+	return j
 }
 
-// solveInst (re-)solves one instance and refreshes its couplings.
-func (st *chipState) solveInst(in *regionInst, netOrderOnly bool) {
-	prob := &sino.Instance{Segs: in.segs, Sensitive: st.r.sens.Sensitive, Model: st.r.model}
+// apply merges one engine result back into the instance.
+func (in *regionInst) apply(res engine.Result) {
+	in.sol = res.Sol
+	in.k = res.Check.K
+}
+
+// solveAll runs the per-region solver for every instance — Phase II,
+// sharded across the engine's workers. Results merge in instance order, so
+// the outcome is identical at any worker count. netOrderOnly selects the
+// NO baseline solver.
+func (st *chipState) solveAll(ctx context.Context, netOrderOnly bool) error {
+	mode := engine.ModeSolve
 	if netOrderOnly {
-		in.sol, _ = sino.NetOrderOnly(prob)
-	} else {
-		in.sol, _ = sino.Solve(prob)
+		mode = engine.ModeNetOrder
 	}
-	in.k = prob.TotalK(in.sol)
+	jobs := make([]engine.Job, len(st.orderd))
+	for i, in := range st.orderd {
+		jobs[i] = st.job(in, mode)
+	}
+	results, err := st.r.eng.Run(ctx, jobs)
+	if err != nil {
+		return err
+	}
+	if err := engine.FirstError(results); err != nil {
+		return err
+	}
+	for i := range results {
+		st.orderd[i].apply(results[i])
+	}
+	return nil
+}
+
+// solveInst (re-)solves one instance and refreshes its couplings. Phase III
+// routes its one-at-a-time re-solves through the engine too: no parallelism
+// for a single job, but the worker models and the coupling cache stay warm.
+func (st *chipState) solveInst(ctx context.Context, in *regionInst, netOrderOnly bool) error {
+	mode := engine.ModeSolve
+	if netOrderOnly {
+		mode = engine.ModeNetOrder
+	}
+	return st.runOne(ctx, in, mode)
 }
 
 // repairInst improves the instance's existing solution by shield insertion
 // only — the cheap path for Phase III pass 1, which perturbs one segment's
 // bound at a time.
-func (st *chipState) repairInst(in *regionInst) {
-	prob := &sino.Instance{Segs: in.segs, Sensitive: st.r.sens.Sensitive, Model: st.r.model}
-	sino.Repair(prob, in.sol)
-	in.k = prob.TotalK(in.sol)
+func (st *chipState) repairInst(ctx context.Context, in *regionInst) error {
+	return st.runOne(ctx, in, engine.ModeRepair)
+}
+
+func (st *chipState) runOne(ctx context.Context, in *regionInst, mode engine.Mode) error {
+	results, err := st.r.eng.Run(ctx, []engine.Job{st.job(in, mode)})
+	if err != nil {
+		return err
+	}
+	if err := engine.FirstError(results); err != nil {
+		return err
+	}
+	in.apply(results[0])
+	return nil
 }
 
 // lskOf computes net i's LSK value under the current solutions (Eq. 1).

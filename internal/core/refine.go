@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 )
 
@@ -19,11 +20,15 @@ type refineStats struct {
 // violator. Pass 2 reduces congestion: in the most congested regions, grant
 // the nets with LSK slack looser bounds and re-run SINO; keep the new
 // solution only when it removes shields without creating any violation.
-func (st *chipState) refine() refineStats {
+func (st *chipState) refine(ctx context.Context) (refineStats, error) {
 	var stats refineStats
-	st.refinePass1(&stats)
-	st.refinePass2(&stats)
-	return stats
+	if err := st.refinePass1(ctx, &stats); err != nil {
+		return stats, err
+	}
+	if err := st.refinePass2(ctx, &stats); err != nil {
+		return stats, err
+	}
+	return stats, nil
 }
 
 // density returns an instance's track demand over capacity.
@@ -38,7 +43,7 @@ func (st *chipState) density(in *regionInst) float64 {
 	return float64(tracks) / float64(st.r.design.Grid.VC)
 }
 
-func (st *chipState) refinePass1(stats *refineStats) {
+func (st *chipState) refinePass1(ctx context.Context, stats *refineStats) error {
 	kFloor := st.r.budgeter.KFloor
 	if kFloor <= 0 {
 		kFloor = 0.05
@@ -95,7 +100,9 @@ func (st *chipState) refinePass1(stats *refineStats) {
 			}
 			before := in.k[t.seg]
 			in.segs[t.seg].Kth = target
-			st.repairInst(in)
+			if err := st.repairInst(ctx, in); err != nil {
+				return err
+			}
 			stats.resolves++
 			if in.k[t.seg] >= before*(1-1e-9) {
 				// The solver could not reduce this segment further; stop
@@ -112,6 +119,7 @@ func (st *chipState) refinePass1(stats *refineStats) {
 		_ = n
 		stats.unfixable++
 	}
+	return nil
 }
 
 // leastCongestedTightenable picks the net's segment in the least congested
@@ -133,7 +141,7 @@ func (st *chipState) leastCongestedTightenable(net int, kFloor float64, tried ma
 	return best
 }
 
-func (st *chipState) refinePass2(stats *refineStats) {
+func (st *chipState) refinePass2(ctx context.Context, stats *refineStats) error {
 	// Work from the most congested instances down; one sweep with
 	// acceptance-gated re-solves implements "until no reduction on the
 	// slacks is possible without causing crosstalk violations" within a
@@ -144,14 +152,17 @@ func (st *chipState) refinePass2(stats *refineStats) {
 		if st.density(in) <= 1 || in.sol == nil || in.sol.NumShields() == 0 {
 			continue
 		}
-		st.tryRelax(in, stats)
+		if err := st.tryRelax(ctx, in, stats); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // tryRelax grants every segment of the instance its LSK slack (converted to
 // a K allowance over its local length), re-solves, and keeps the result only
 // if shields were removed and no net anywhere fell into violation.
-func (st *chipState) tryRelax(in *regionInst, stats *refineStats) {
+func (st *chipState) tryRelax(ctx context.Context, in *regionInst, stats *refineStats) error {
 	oldKth := make([]float64, len(in.segs))
 	for i := range in.segs {
 		oldKth[i] = in.segs[i].Kth
@@ -173,16 +184,19 @@ func (st *chipState) tryRelax(in *regionInst, stats *refineStats) {
 		changed = true
 	}
 	if !changed {
-		return
+		return nil
 	}
-	st.solveInst(in, false)
+	if err := st.solveInst(ctx, in, false); err != nil {
+		return err
+	}
 	stats.resolves++
 	if in.sol.NumShields() < oldSol.NumShields() && len(st.violating()) == 0 {
-		return // accepted
+		return nil // accepted
 	}
 	// Revert.
 	for i := range in.segs {
 		in.segs[i].Kth = oldKth[i]
 	}
 	in.sol, in.k = oldSol, oldK
+	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -17,7 +18,9 @@ func refineFixture(t *testing.T, nNets int, rate float64, seed int64) (*Runner, 
 		t.Fatal(err)
 	}
 	st := r.buildState(res, budgetManhattan)
-	st.solveAll(false)
+	if err := st.solveAll(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
 	return r, st
 }
 
@@ -26,7 +29,10 @@ func TestRefineEliminatesViolations(t *testing.T) {
 	// sizes are comfortably within the feasible regime).
 	for _, seed := range []int64{1, 3, 8} {
 		_, st := refineFixture(t, 90, 0.5, seed)
-		stats := st.refine()
+		stats, err := st.refine(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
 		if left := len(st.violating()); left != 0 {
 			t.Errorf("seed %d: %d violations remain after refine (unfixable %d)",
 				seed, left, stats.unfixable)
@@ -41,7 +47,9 @@ func TestRefinePass1TightensBounds(t *testing.T) {
 		t.Skip("fixture produced no violations to repair")
 	}
 	var stats refineStats
-	st.refinePass1(&stats)
+	if err := st.refinePass1(context.Background(), &stats); err != nil {
+		t.Fatal(err)
+	}
 	if len(st.violating()) >= before {
 		t.Errorf("pass 1 did not reduce violations: %d -> %d", before, len(st.violating()))
 	}
@@ -55,12 +63,16 @@ func TestRefinePass2NeverCreatesViolations(t *testing.T) {
 	// net anywhere violates.
 	_, st := refineFixture(t, 90, 0.5, 4)
 	var stats refineStats
-	st.refinePass1(&stats)
+	if err := st.refinePass1(context.Background(), &stats); err != nil {
+		t.Fatal(err)
+	}
 	if len(st.violating()) != 0 {
 		t.Skip("pass 1 left violations; pass 2 precondition unmet")
 	}
 	shieldsBefore := st.shieldCount()
-	st.refinePass2(&stats)
+	if err := st.refinePass2(context.Background(), &stats); err != nil {
+		t.Fatal(err)
+	}
 	if got := len(st.violating()); got != 0 {
 		t.Fatalf("pass 2 created %d violations", got)
 	}

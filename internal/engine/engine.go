@@ -1,0 +1,321 @@
+// Package engine is the concurrent region-solve engine: it shards
+// independent SINO region instances across a bounded worker pool, solves
+// them in parallel, and merges results deterministically.
+//
+// The paper's Phase II (SINO in every routing region) and the re-solves of
+// Phase III refinement are embarrassingly parallel across region instances
+// — no instance reads another's state. The engine exploits that while
+// keeping parallel runs bit-identical to sequential ones:
+//
+//   - Results are returned positionally: Run's result slice index i is job
+//     i's outcome, whatever order workers finished in.
+//   - Each solver call is deterministic given its instance (the greedy
+//     constructor is seedless; annealing callers pass explicit seeds), so
+//     worker count cannot change any individual outcome.
+//   - Each worker owns a private clone of the coupling model (keff.Model
+//     memoizes lazily and is not safe for concurrent use) and all workers
+//     share one sharded keff.PairCache, whose entries are pure functions of
+//     geometry — a racy double-compute stores the same bits.
+//
+// The engine also owns the run counters the CLI tools report: instances
+// solved, tracks and shields in the returned solutions, and the coupling
+// cache hit rate.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/keff"
+	"repro/internal/sino"
+)
+
+// Mode selects which solver a job runs.
+type Mode int
+
+const (
+	// ModeSolve runs the full SINO heuristic (sino.Solve) — Phase II and
+	// the re-solves of Phase III pass 2.
+	ModeSolve Mode = iota
+	// ModeNetOrder runs the ordering-only baseline (sino.NetOrderOnly) —
+	// the ID+NO flow.
+	ModeNetOrder
+	// ModeRepair improves an existing solution by shield insertion only
+	// (sino.Repair) — Phase III pass 1's cheap re-solve. Job.Prev is
+	// repaired in place and returned as the result solution.
+	ModeRepair
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSolve:
+		return "solve"
+	case ModeNetOrder:
+		return "net-order"
+	case ModeRepair:
+		return "repair"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Job is one region instance to solve. The engine overrides the instance's
+// Model with the executing worker's private clone and its Cache with the
+// engine's shared cache; the job's own fields are otherwise used as-is. A
+// job must not alias mutable state of any other job in the same Run call.
+type Job struct {
+	Inst *sino.Instance
+	Mode Mode
+	Prev *sino.Solution // ModeRepair only: the solution to improve in place
+}
+
+// Result is one job's outcome. Sol and Check are nil when Err is set.
+type Result struct {
+	Sol   *sino.Solution
+	Check *sino.Check // verification of Sol; Check.K are the per-segment totals
+	Err   error
+}
+
+// Progress is a snapshot handed to the OnProgress hook.
+type Progress struct {
+	Done  int // jobs finished in this Run call
+	Total int // jobs submitted to this Run call
+}
+
+// Config tunes a new engine.
+type Config struct {
+	// Workers bounds the pool; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+
+	// Model is the prototype coupling model, cloned once per worker. Nil
+	// defers to the first job's instance model at first Run.
+	Model *keff.Model
+
+	// Cache is the shared pair-coupling cache. Nil allocates a fresh one.
+	// A cache is only valid for one model configuration; reuse across
+	// engines is allowed when their models match.
+	Cache *keff.PairCache
+
+	// OnProgress, when non-nil, is called after every completed job with
+	// the Run call's progress. Calls are serialized.
+	OnProgress func(Progress)
+}
+
+// Stats are the engine's cumulative counters since construction.
+type Stats struct {
+	Workers   int    // pool bound
+	Jobs      uint64 // instances solved (all modes)
+	Errors    uint64 // jobs that returned an error
+	Tracks    uint64 // total tracks across returned solutions
+	Shields   uint64 // total shield tracks across returned solutions
+	CacheHits uint64 // pair-coupling cache hits
+	CacheMiss uint64 // pair-coupling cache misses
+}
+
+// HitRate returns the coupling-cache hit rate in [0, 1].
+func (s Stats) HitRate() float64 {
+	if s.CacheHits+s.CacheMiss == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMiss)
+}
+
+// Sub returns the counters accumulated since an earlier snapshot.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Workers:   s.Workers,
+		Jobs:      s.Jobs - prev.Jobs,
+		Errors:    s.Errors - prev.Errors,
+		Tracks:    s.Tracks - prev.Tracks,
+		Shields:   s.Shields - prev.Shields,
+		CacheHits: s.CacheHits - prev.CacheHits,
+		CacheMiss: s.CacheMiss - prev.CacheMiss,
+	}
+}
+
+// Engine is a reusable region-solve pool. Run calls are serialized (the
+// parallelism lives inside a Run); an Engine may be shared by the phases of
+// a flow, which keeps worker models and the coupling cache warm across
+// phases.
+type Engine struct {
+	workers    int
+	cache      *keff.PairCache
+	onProgress func(Progress)
+
+	runMu  sync.Mutex    // serializes Run calls
+	models []*keff.Model // one per worker, created at first Run
+
+	jobs    atomic.Uint64
+	errors  atomic.Uint64
+	tracks  atomic.Uint64
+	shields atomic.Uint64
+
+	// cacheBase holds the cache counters at construction, so engines
+	// sharing a cache report only their own traffic.
+	cacheBaseHits, cacheBaseMiss uint64
+}
+
+// New builds an engine from cfg.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		if cfg.Model != nil {
+			cache = keff.NewPairCacheFor(cfg.Model)
+		} else {
+			cache = keff.NewPairCache()
+		}
+	}
+	e := &Engine{workers: w, cache: cache, onProgress: cfg.OnProgress}
+	e.cacheBaseHits, e.cacheBaseMiss = cache.Stats()
+	if cfg.Model != nil {
+		e.initModels(cfg.Model)
+	}
+	return e
+}
+
+// initModels clones the prototype once per worker.
+func (e *Engine) initModels(proto *keff.Model) {
+	e.models = make([]*keff.Model, e.workers)
+	for i := range e.models {
+		e.models[i] = proto.Clone()
+	}
+}
+
+// Workers returns the pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the shared pair-coupling cache.
+func (e *Engine) Cache() *keff.PairCache { return e.cache }
+
+// Stats returns a snapshot of the cumulative counters.
+func (e *Engine) Stats() Stats {
+	hits, miss := e.cache.Stats()
+	return Stats{
+		Workers:   e.workers,
+		Jobs:      e.jobs.Load(),
+		Errors:    e.errors.Load(),
+		Tracks:    e.tracks.Load(),
+		Shields:   e.shields.Load(),
+		CacheHits: hits - e.cacheBaseHits,
+		CacheMiss: miss - e.cacheBaseMiss,
+	}
+}
+
+// Run solves every job and returns results positionally: results[i] is
+// jobs[i]'s outcome. Per-job failures land in Result.Err and do not stop
+// the batch; FirstError collects them. Run itself returns an error only
+// when ctx is cancelled, in which case unstarted jobs carry ctx.Err() in
+// their Result.Err.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+	if e.models == nil {
+		proto := jobs[0].Inst.Model
+		if proto == nil {
+			return nil, fmt.Errorf("engine: no model configured and job 0 carries none")
+		}
+		e.initModels(proto)
+	}
+
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		next     atomic.Int64 // next job index to claim
+		done     int          // guarded by progress, so callbacks see monotonic counts
+		progress sync.Mutex
+		wg       sync.WaitGroup
+	)
+	total := len(jobs)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(model *keff.Model) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= total {
+					return
+				}
+				if ctx.Err() != nil {
+					results[i] = Result{Err: ctx.Err()}
+					continue // drain remaining indices with the ctx error
+				}
+				results[i] = e.solveJob(&jobs[i], model)
+				if e.onProgress != nil {
+					progress.Lock()
+					done++
+					e.onProgress(Progress{Done: done, Total: total})
+					progress.Unlock()
+				}
+			}
+		}(e.models[w])
+	}
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// solveJob runs one job on one worker, converting solver panics (invalid
+// instances) into per-job errors.
+func (e *Engine) solveJob(job *Job, model *keff.Model) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: fmt.Errorf("engine: %s job panicked: %v", job.Mode, r)}
+		}
+		e.jobs.Add(1)
+		if res.Err != nil {
+			e.errors.Add(1)
+			return
+		}
+		e.tracks.Add(uint64(res.Sol.NumTracks()))
+		e.shields.Add(uint64(res.Sol.NumShields()))
+	}()
+	if job.Inst == nil {
+		return Result{Err: fmt.Errorf("engine: %s job has no instance", job.Mode)}
+	}
+	// Shallow copy so swapping in the worker's model and the shared cache
+	// never races with the caller's view of the instance.
+	inst := *job.Inst
+	inst.Model = model
+	inst.Cache = e.cache
+
+	switch job.Mode {
+	case ModeSolve:
+		sol, chk := sino.Solve(&inst)
+		return Result{Sol: sol, Check: chk}
+	case ModeNetOrder:
+		sol, chk := sino.NetOrderOnly(&inst)
+		return Result{Sol: sol, Check: chk}
+	case ModeRepair:
+		if job.Prev == nil {
+			return Result{Err: fmt.Errorf("engine: repair job has no previous solution")}
+		}
+		chk := sino.Repair(&inst, job.Prev)
+		return Result{Sol: job.Prev, Check: chk}
+	default:
+		return Result{Err: fmt.Errorf("engine: unknown mode %d", int(job.Mode))}
+	}
+}
+
+// FirstError returns the first per-job error in results, or nil.
+func FirstError(results []Result) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return fmt.Errorf("engine: job %d: %w", i, results[i].Err)
+		}
+	}
+	return nil
+}

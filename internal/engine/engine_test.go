@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/keff"
+	"repro/internal/netlist"
+	"repro/internal/sino"
+	"repro/internal/tech"
+)
+
+// makeJobs builds n solve jobs with varying sizes and bounds, sharing one
+// model and sensitivity relation, like a Phase II batch.
+func makeJobs(n int, mode Mode) []Job {
+	model := keff.NewModel(tech.Default())
+	sens := netlist.NewHashSensitivity(7, 0.4, 200)
+	jobs := make([]Job, n)
+	for i := range jobs {
+		size := 4 + (i*7)%24
+		segs := make([]sino.Seg, size)
+		for s := range segs {
+			segs[s] = sino.Seg{Net: (i*31 + s) % 200, Kth: 0.3 + 0.05*float64(s%8), Rate: 0.4}
+		}
+		jobs[i] = Job{
+			Inst: &sino.Instance{Segs: segs, Sensitive: sens.Sensitive, Model: model},
+			Mode: mode,
+		}
+	}
+	return jobs
+}
+
+// solutionsEqual compares two results track by track.
+func solutionsEqual(a, b Result) bool {
+	if (a.Err != nil) != (b.Err != nil) {
+		return false
+	}
+	if a.Err != nil {
+		return true
+	}
+	if len(a.Sol.Tracks) != len(b.Sol.Tracks) {
+		return false
+	}
+	for i := range a.Sol.Tracks {
+		if a.Sol.Tracks[i] != b.Sol.Tracks[i] {
+			return false
+		}
+	}
+	for i := range a.Check.K {
+		if a.Check.K[i] != b.Check.K[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, mode := range []Mode{ModeSolve, ModeNetOrder} {
+		t.Run(mode.String(), func(t *testing.T) {
+			seq, err := New(Config{Workers: 1}).Run(context.Background(), makeJobs(40, mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				par, err := New(Config{Workers: workers}).Run(context.Background(), makeJobs(40, mode))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range seq {
+					if !solutionsEqual(seq[i], par[i]) {
+						t.Errorf("workers=%d: job %d diverged from sequential", workers, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRepairMode(t *testing.T) {
+	jobs := makeJobs(10, ModeSolve)
+	base, err := New(Config{Workers: 4}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairs := make([]Job, len(jobs))
+	for i := range jobs {
+		// Tighten one bound, then repair the existing solution in place.
+		segs := append([]sino.Seg(nil), jobs[i].Inst.Segs...)
+		segs[0].Kth = 0.1
+		repairs[i] = Job{
+			Inst: &sino.Instance{Segs: segs, Sensitive: jobs[i].Inst.Sensitive, Model: jobs[i].Inst.Model},
+			Mode: ModeRepair,
+			Prev: base[i].Sol,
+		}
+	}
+	res, err := New(Config{Workers: 4}).Run(context.Background(), repairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].Err != nil {
+			t.Fatalf("repair job %d: %v", i, res[i].Err)
+		}
+		if res[i].Sol != base[i].Sol {
+			t.Errorf("repair job %d did not repair in place", i)
+		}
+		if len(res[i].Check.K) != len(repairs[i].Inst.Segs) {
+			t.Errorf("repair job %d: Check.K has %d entries, want %d",
+				i, len(res[i].Check.K), len(repairs[i].Inst.Segs))
+		}
+	}
+}
+
+func TestPerJobErrorPropagation(t *testing.T) {
+	jobs := makeJobs(6, ModeSolve)
+	jobs[2].Inst.Segs[0].Kth = -1 // sino.Solve panics on invalid instances
+	jobs[4] = Job{Mode: ModeRepair, Inst: jobs[4].Inst} // missing Prev
+	res, err := New(Config{Workers: 3}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		wantErr := i == 2 || i == 4
+		if (r.Err != nil) != wantErr {
+			t.Errorf("job %d: err = %v, want error: %v", i, r.Err, wantErr)
+		}
+	}
+	if FirstError(res) == nil {
+		t.Error("FirstError missed the failures")
+	}
+	if e := FirstError(nil); e != nil {
+		t.Errorf("FirstError(nil) = %v", e)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before submission
+	res, err := New(Config{Workers: 2}).Run(ctx, makeJobs(20, ModeSolve))
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	cancelled := 0
+	for _, r := range res {
+		if r.Err != nil {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no job carries the cancellation error")
+	}
+}
+
+func TestStatsAndProgress(t *testing.T) {
+	var last Progress
+	e := New(Config{Workers: 4, OnProgress: func(p Progress) { last = p }})
+	res, err := e.Run(context.Background(), makeJobs(15, ModeSolve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ferr := FirstError(res); ferr != nil {
+		t.Fatal(ferr)
+	}
+	if last.Done != 15 || last.Total != 15 {
+		t.Errorf("final progress = %+v, want 15/15", last)
+	}
+	st := e.Stats()
+	if st.Jobs != 15 || st.Errors != 0 {
+		t.Errorf("stats = %+v, want 15 jobs, 0 errors", st)
+	}
+	var tracks uint64
+	for _, r := range res {
+		tracks += uint64(r.Sol.NumTracks())
+	}
+	if st.Tracks != tracks {
+		t.Errorf("stats tracks = %d, want %d", st.Tracks, tracks)
+	}
+	if st.CacheHits+st.CacheMiss == 0 {
+		t.Error("cache saw no traffic")
+	}
+
+	// A second run accumulates; Sub isolates the delta.
+	if _, err := e.Run(context.Background(), makeJobs(5, ModeSolve)); err != nil {
+		t.Fatal(err)
+	}
+	delta := e.Stats().Sub(st)
+	if delta.Jobs != 5 {
+		t.Errorf("delta jobs = %d, want 5", delta.Jobs)
+	}
+}
+
+func TestCacheIsolationBetweenEngines(t *testing.T) {
+	shared := keff.NewPairCache()
+	e1 := New(Config{Workers: 2, Cache: shared})
+	if _, err := e1.Run(context.Background(), makeJobs(8, ModeSolve)); err != nil {
+		t.Fatal(err)
+	}
+	// A second engine on the same cache must report only its own traffic.
+	e2 := New(Config{Workers: 2, Cache: shared})
+	if got := e2.Stats(); got.CacheHits != 0 || got.CacheMiss != 0 {
+		t.Errorf("fresh engine inherited cache traffic: %+v", got)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	res, err := New(Config{Workers: 4}).Run(context.Background(), nil)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty run: res=%v err=%v", res, err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{ModeSolve: "solve", ModeNetOrder: "net-order", ModeRepair: "repair", Mode(9): "mode(9)"} {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func ExampleEngine() {
+	model := keff.NewModel(tech.Default())
+	sens := netlist.NewHashSensitivity(1, 0.5, 8)
+	segs := make([]sino.Seg, 8)
+	for i := range segs {
+		segs[i] = sino.Seg{Net: i, Kth: 0.6, Rate: 0.5}
+	}
+	e := New(Config{Workers: 4, Model: model})
+	res, _ := e.Run(context.Background(), []Job{
+		{Inst: &sino.Instance{Segs: segs, Sensitive: sens.Sensitive, Model: model}, Mode: ModeSolve},
+	})
+	fmt.Println("feasible:", res[0].Check.Feasible())
+	// Output: feasible: true
+}

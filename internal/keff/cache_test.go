@@ -1,0 +1,125 @@
+package keff
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// denseLayout builds an n-track layout with shields at the given positions.
+func denseLayout(n int, shieldAt ...int) Layout {
+	l := Layout{Tracks: make([]Track, n)}
+	for i := range l.Tracks {
+		l.Tracks[i] = SignalOf(i)
+	}
+	for _, s := range shieldAt {
+		l.Tracks[s] = ShieldOf()
+	}
+	return l
+}
+
+func TestCachedTotalsMatchUncached(t *testing.T) {
+	m := NewModel(tech.Default())
+	c := NewPairCache()
+	for _, l := range []Layout{
+		denseLayout(8),
+		denseLayout(12, 3, 7),
+		denseLayout(30, 0, 15, 29),
+	} {
+		want := m.AllTotals(l, allSensitive)
+		// Twice: the second pass is served from the cache and must be
+		// bit-identical (cached values are the computed float64s).
+		for pass := 0; pass < 2; pass++ {
+			got := m.AllTotalsCached(c, l, allSensitive)
+			if len(got) != len(want) {
+				t.Fatalf("length mismatch: %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("pass %d track %d: cached %g != uncached %g", pass, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if h, _ := c.Stats(); h == 0 {
+		t.Error("second pass produced no cache hits")
+	}
+	if c.Len() == 0 {
+		t.Error("cache stored no geometries")
+	}
+}
+
+func TestPairCouplingCachedMatchesPairCoupling(t *testing.T) {
+	m := NewModel(tech.Default())
+	c := NewPairCache()
+	l := denseLayout(10, 4)
+	for ti := 0; ti < 10; ti++ {
+		for tj := 0; tj < 10; tj++ {
+			if ti == tj || l.Tracks[ti].Kind != SignalTrack || l.Tracks[tj].Kind != SignalTrack {
+				continue
+			}
+			want := m.PairCoupling(l, ti, tj)
+			got := m.PairCouplingCached(c, l, ti, tj)
+			if got != want {
+				t.Errorf("(%d,%d): cached %g != direct %g", ti, tj, got, want)
+			}
+		}
+	}
+}
+
+func TestCloneIsIndependentAndEquivalent(t *testing.T) {
+	m := NewModel(tech.Default())
+	l := denseLayout(16, 8)
+	want := m.AllTotals(l, allSensitive)
+
+	clone := m.Clone()
+	got := clone.AllTotals(l, allSensitive)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("track %d: clone %g != original %g", i, got[i], want[i])
+		}
+	}
+	// Growing the clone's memo must not touch the original.
+	before := len(m.mu)
+	clone.Warm(before + 50)
+	if len(m.mu) != before {
+		t.Errorf("warming the clone grew the original's memo: %d -> %d", before, len(m.mu))
+	}
+}
+
+func TestPairCacheConcurrentUse(t *testing.T) {
+	proto := NewModel(tech.Default())
+	proto.Warm(64)
+	c := NewPairCache()
+	l := denseLayout(40, 10, 30)
+	want := proto.AllTotals(l, allSensitive)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := proto.Clone()
+			for rep := 0; rep < 20; rep++ {
+				got := m.AllTotalsCached(c, l, allSensitive)
+				for i := range got {
+					if math.Abs(got[i]-want[i]) != 0 {
+						errs <- "concurrent cached totals diverged"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if c.HitRate() == 0 {
+		t.Error("hit rate is zero after repeated identical evaluations")
+	}
+}

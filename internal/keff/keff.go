@@ -260,31 +260,7 @@ func (m *Model) TotalCoupling(l Layout, ti int, sensitive func(a, b int) bool) f
 // beyond the background-return cutoff are skipped, so the cost is
 // O(n·cutoff) in the number of tracks with O(1) work per pair.
 func (m *Model) AllTotals(l Layout, sensitive func(a, b int) bool) []float64 {
-	tr := l.Tracks
-	out := make([]float64, len(tr))
-	shields := m.shieldTable(tr)
-	cutoff := m.PairCutoff()
-	for i := range tr {
-		if tr[i].Kind != SignalTrack {
-			continue
-		}
-		jMax := i + cutoff
-		if jMax >= len(tr) || jMax < 0 { // overflow guard for huge cutoffs
-			jMax = len(tr) - 1
-		}
-		for j := i + 1; j <= jMax; j++ {
-			if tr[j].Kind != SignalTrack {
-				continue
-			}
-			if !sensitive(tr[i].Net, tr[j].Net) {
-				continue
-			}
-			k := m.pairCouplingAt(i, j, shields[i], shields[j])
-			out[i] += k
-			out[j] += k
-		}
-	}
-	return out
+	return m.AllTotalsCached(nil, l, sensitive)
 }
 
 // shieldTable precomputes each position's nearest return conductors in one

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/ibm"
+	"repro/internal/netlist"
+)
+
+// pipelineDesign builds a compact random design, mirroring the core test
+// fixtures, for end-to-end determinism runs.
+func pipelineDesign(t *testing.T, nNets int, rate float64, seed int64) *core.Design {
+	t.Helper()
+	g, err := grid.New(8, 8, 100, 100, 14, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	clamp := func(v float64) geom.Micron {
+		if v < 0 {
+			v = 0
+		}
+		if v > 799 {
+			v = 799
+		}
+		return geom.Micron(v)
+	}
+	nets := make([]netlist.Net, nNets)
+	for i := range nets {
+		np := 2 + rng.Intn(3)
+		pins := make([]netlist.Pin, np)
+		cx, cy := rng.Float64()*800, rng.Float64()*800
+		for j := range pins {
+			pins[j] = netlist.Pin{Loc: geom.MicronPoint{
+				X: clamp(cx + rng.NormFloat64()*150),
+				Y: clamp(cy + rng.NormFloat64()*150),
+			}}
+		}
+		nets[i] = netlist.Net{ID: i, Pins: pins}
+	}
+	return &core.Design{
+		Name: "det",
+		Nets: &netlist.Netlist{Nets: nets, Sensitivity: netlist.NewHashSensitivity(uint64(seed), rate, nNets)},
+		Grid: g,
+		Rate: rate,
+	}
+}
+
+// renderAll runs every flow at the given worker count and renders the full
+// report (Tables 1–3, deltas, CSV) with runtimes zeroed — runtime is the
+// one field allowed to differ between worker counts.
+func renderAll(t *testing.T, workers int) string {
+	t.Helper()
+	set := NewSet()
+	designs := []*core.Design{
+		pipelineDesign(t, 70, 0.3, 5),
+		pipelineDesign(t, 70, 0.5, 11),
+	}
+	// A scaled IBM circuit exercises the full-chip path (multi-region trees,
+	// Phase III refinement pressure) where tie-break ordering bugs hide.
+	profile, err := ibm.ProfileByName("ibm01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := ibm.Generate(profile, ibm.Options{Seed: 1, Scale: 16, SensRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs = append(designs, &core.Design{Name: "ibm01", Nets: ckt.Nets, Grid: ckt.Grid, Rate: 0.5})
+	for _, d := range designs {
+		r, err := core.NewRunner(d, core.Params{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []core.Flow{core.FlowIDNO, core.FlowISINO, core.FlowGSINO} {
+			o, err := r.Run(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.Runtime = 0
+			set.Add(o)
+		}
+	}
+	var b strings.Builder
+	set.Table1(&b)
+	set.Table2(&b)
+	set.Table3(&b)
+	set.Deltas(&b)
+	set.CSV(&b)
+	return b.String()
+}
+
+// TestParallelPipelineMatchesSequentialReport is the engine's determinism
+// contract end to end: the full pipeline (routing, Phase II SINO, Phase III
+// refinement) run with one worker and with many workers must render
+// byte-identical reports.
+func TestParallelPipelineMatchesSequentialReport(t *testing.T) {
+	seq := renderAll(t, 1)
+	for _, workers := range []int{4, 8} {
+		if par := renderAll(t, workers); par != seq {
+			t.Errorf("report with %d workers differs from sequential run:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, seq, workers, par)
+		}
+	}
+}

@@ -172,7 +172,7 @@ func (in *Instance) sidePull(s *Solution, pos int) (left, right float64) {
 		if t == pos || other == Shield || !in.sensitiveSegs(seg, other) {
 			continue
 		}
-		k := in.Model.PairCoupling(l, pos, t)
+		k := in.Model.PairCouplingCached(in.Cache, l, pos, t)
 		if t < pos {
 			left += k
 		} else {
