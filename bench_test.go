@@ -287,6 +287,85 @@ func BenchmarkEngineCacheAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineParallelEndToEnd is the Phase I-inclusive variant of
+// BenchmarkEngineParallel: a full GSINO flow — sharded Phase I routing,
+// Phase II region solves, Phase III refinement — on one runner across
+// worker counts. Results are byte-identical at every setting, so the ratio
+// of workers1 to the higher settings is pure wall-clock speedup.
+func BenchmarkEngineParallelEndToEnd(b *testing.B) {
+	counts := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		counts = append(counts, n)
+	}
+	for _, name := range []string{"ibm01", "ibm05"} {
+		d := benchCircuit(b, name, 0.5)
+		for _, w := range counts {
+			b.Run(fmt.Sprintf("%s/workers%d", name, w), func(b *testing.B) {
+				r, err := core.NewRunner(d, core.Params{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var out *core.Outcome
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err = r.Run(core.FlowGSINO)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(out.Route.Shards), "shards")
+				b.ReportMetric(float64(out.Route.Reconciled), "reconciled")
+			})
+		}
+	}
+}
+
+// BenchmarkIDRouterParallel isolates Phase I: the sharded
+// iterative-deletion router on the engine pool across worker counts,
+// versus the same tiling drained serially (workers1).
+func BenchmarkIDRouterParallel(b *testing.B) {
+	counts := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		counts = append(counts, n)
+	}
+	for _, name := range []string{"ibm01", "ibm05"} {
+		profile, err := ibm.ProfileByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ckt, err := ibm.Generate(profile, ibm.Options{Seed: 1, Scale: benchScale, SensRate: 0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets := make([]route.Net, len(ckt.Nets.Nets))
+		for i := range ckt.Nets.Nets {
+			nets[i] = route.Net{ID: i, Rate: 0.3}
+			for _, p := range ckt.Nets.Nets[i].Pins {
+				nets[i].Pins = append(nets[i].Pins, ckt.Grid.RegionOf(p.Loc))
+			}
+		}
+		for _, w := range counts {
+			b.Run(fmt.Sprintf("%s/workers%d", name, w), func(b *testing.B) {
+				pool := engine.New(engine.Config{Workers: w})
+				var stats route.RunStats
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					router, err := route.NewRouter(ckt.Grid, route.Config{ShieldAware: true}, nets)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := router.RunSharded(context.Background(), pool, route.ShardConfig{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats = res.Stats
+				}
+				b.ReportMetric(float64(stats.Shards), "shards")
+			})
+		}
+	}
+}
+
 // BenchmarkIDRouter measures the iterative-deletion router alone.
 func BenchmarkIDRouter(b *testing.B) {
 	for _, name := range []string{"ibm01", "ibm05"} {

@@ -28,7 +28,7 @@ func main() {
 	vth := flag.Float64("vth", 0.15, "crosstalk constraint, volts")
 	verbose := flag.Bool("v", false, "print congestion and engine statistics per flow")
 	congBudget := flag.Bool("congestion-budget", false, "use congestion-weighted crosstalk budgeting in GSINO (paper §5 future work)")
-	workers := flag.Int("workers", 0, "region-solve engine workers (0 = one per CPU); results are identical at any setting")
+	workers := flag.Int("workers", 0, "engine workers for Phase I shards and Phase II/III solves (0 = one per CPU); results are identical at any setting")
 	flag.Parse()
 
 	profile, err := ibm.ProfileByName(*circuit)
@@ -78,8 +78,11 @@ func main() {
 			fmt.Printf("        density avg H/V %.2f/%.2f, max %.2f/%.2f, overflowed regions %d/%d, segs %d\n",
 				c.AvgHDensity, c.AvgVDensity, c.MaxH, c.MaxV, c.OverflowedH, c.OverflowedV, out.SegTracks)
 			e := out.Engine
-			fmt.Printf("        engine: %d workers, %d instances solved (%d tracks), coupling cache %.1f%% hit\n",
-				e.Workers, e.Jobs, e.Tracks, e.HitRate()*100)
+			fmt.Printf("        engine: %d workers, %d instances solved (%d tracks), %d tasks, coupling cache %.1f%% hit\n",
+				e.Workers, e.Jobs, e.Tracks, e.Tasks, e.HitRate()*100)
+			r := out.Route
+			fmt.Printf("        phase I: %d routing shards (largest %d nets), %d nets reconciled in %d rounds\n",
+				r.Shards, r.LargestShard, r.Reconciled, r.ReconcileRounds)
 		}
 		if f == core.FlowGSINO && out.Unfixable > 0 {
 			fmt.Printf("        (GSINO: %d violations unfixable at the K floor)\n", out.Unfixable)

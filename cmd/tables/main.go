@@ -31,7 +31,7 @@ func main() {
 	scale := flag.Int("scale", 4, "benchmark scale divisor (1 = full, paper-comparable)")
 	seed := flag.Int64("seed", 1, "benchmark generation seed")
 	csvPath := flag.String("csv", "", "also write raw outcomes to this CSV file")
-	workers := flag.Int("workers", 0, "region-solve engine workers (0 = one per CPU); results are identical at any setting")
+	workers := flag.Int("workers", 0, "engine workers for Phase I shards and Phase II/III solves (0 = one per CPU); results are identical at any setting")
 	flag.Parse()
 
 	set := report.NewSet()
@@ -58,9 +58,9 @@ func main() {
 					log.Fatal(err)
 				}
 				set.Add(out)
-				fmt.Fprintf(os.Stderr, "ran %s %s @%.0f%% in %s (%d violations, %d solves, cache %.0f%% hit)\n",
+				fmt.Fprintf(os.Stderr, "ran %s %s @%.0f%% in %s (%d violations, %d route shards, %d solves, cache %.0f%% hit)\n",
 					name, f, rate*100, time.Since(start).Round(time.Millisecond),
-					out.Violations, out.Engine.Jobs, out.Engine.HitRate()*100)
+					out.Violations, out.Route.Shards, out.Engine.Jobs, out.Engine.HitRate()*100)
 			}
 		}
 	}

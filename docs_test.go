@@ -1,0 +1,75 @@
+// Docs checks: the README's references must stay true. CI runs this as
+// the docs-link gate — a README that points at a missing file, a removed
+// command, or an undocumented binary fails the build.
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestReadmeReferences fails if README.md links to a file that does not
+// exist or demonstrates a `go run ./...` target that is not in the tree.
+func TestReadmeReferences(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("README.md must exist: %v", err)
+	}
+	readme := string(data)
+
+	// Markdown links to local files: [text](RELATIVE-PATH).
+	linkRe := regexp.MustCompile(`\]\(([A-Za-z0-9_./-]+)\)`)
+	for _, m := range linkRe.FindAllStringSubmatch(readme, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") {
+			continue // external URL
+		}
+		if _, err := os.Stat(target); err != nil {
+			t.Errorf("README links to %q, which does not exist", target)
+		}
+	}
+
+	// Demonstrated commands: go run ./cmd/x, go run ./examples/y.
+	runRe := regexp.MustCompile(`go run (\./(?:cmd|examples)/[a-z]+)`)
+	for _, m := range runRe.FindAllStringSubmatch(readme, -1) {
+		dir := strings.TrimPrefix(m[1], "./")
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			t.Errorf("README demonstrates %q, which is not a package directory", m[1])
+		} else if _, err := os.Stat(filepath.Join(dir, "main.go")); err != nil {
+			t.Errorf("README demonstrates %q, which has no main.go", m[1])
+		}
+	}
+
+	// Inverse direction: every cmd/* binary must be documented.
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && !strings.Contains(readme, "cmd/"+e.Name()) {
+			t.Errorf("cmd/%s is not documented in README.md", e.Name())
+		}
+	}
+}
+
+// TestReadmeCompanionDocs pins the contract that the README's companion
+// documents keep their anchor sections.
+func TestReadmeCompanionDocs(t *testing.T) {
+	for file, want := range map[string]string{
+		"DESIGN.md":      "## 5. Phase I sharding",
+		"EXPERIMENTS.md": "## Determinism",
+		"ROADMAP.md":     "## Open items",
+	} {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Errorf("%s: %v", file, err)
+			continue
+		}
+		if !strings.Contains(string(data), want) {
+			t.Errorf("%s lost its %q section", file, want)
+		}
+	}
+}

@@ -12,6 +12,12 @@
 // The outcome of a flow carries the paper's three reported metrics:
 // crosstalk-violating net counts (Table 1), average wirelength (Table 2),
 // and routing area (Table 3).
+//
+// All three phases execute on one bounded worker pool (internal/engine):
+// Phase I as sharded routing-tile drains, Phase II as one job per
+// (region, direction) instance, Phase III as warm single-job re-solves.
+// Params.Workers sizes the pool and never changes a result byte — see
+// DESIGN.md §4–5 for the determinism contracts.
 package core
 
 import (
@@ -25,6 +31,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/keff"
 	"repro/internal/netlist"
+	"repro/internal/route"
 	"repro/internal/sino"
 	"repro/internal/tech"
 )
@@ -67,9 +74,10 @@ type Params struct {
 	// redistributed across its regions in proportion to local congestion.
 	CongestionBudgeting bool
 
-	// Workers bounds the region-solve engine's worker pool for Phase II
-	// and Phase III; 0 selects one worker per CPU. Results are
-	// bit-identical at every setting — this is purely a throughput knob.
+	// Workers bounds the engine's worker pool, shared by all three phases:
+	// Phase I routing shards and Phase II/III region solves; 0 selects one
+	// worker per CPU. Results are bit-identical at every setting — this is
+	// purely a throughput knob.
 	Workers int
 }
 
@@ -130,9 +138,13 @@ type Outcome struct {
 	Congestion grid.CongestionStats // of the final (shields included) usage
 
 	// Engine reports the region-solve engine's activity during this flow:
-	// instances solved, per-solution track totals, and the coupling-cache
-	// hit rate.
+	// instances solved, generic tasks run, per-solution track totals, and
+	// the coupling-cache hit rate.
 	Engine engine.Stats
+
+	// Route reports how Phase I decomposed into routing shards and how much
+	// boundary reconciliation it needed.
+	Route route.RunStats
 
 	Runtime time.Duration
 }

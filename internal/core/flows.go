@@ -12,7 +12,7 @@ import (
 func (r *Runner) runIDNO(ctx context.Context) (*Outcome, error) {
 	start := time.Now()
 	engBase := r.eng.Stats()
-	res, err := r.routeAll(false)
+	res, err := r.routeAll(ctx, false)
 	if err != nil {
 		return nil, err
 	}
@@ -33,7 +33,7 @@ func (r *Runner) runIDNO(ctx context.Context) (*Outcome, error) {
 func (r *Runner) runISINO(ctx context.Context) (*Outcome, error) {
 	start := time.Now()
 	engBase := r.eng.Stats()
-	res, err := r.routeAll(false)
+	res, err := r.routeAll(ctx, false)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +54,7 @@ func (r *Runner) runISINO(ctx context.Context) (*Outcome, error) {
 func (r *Runner) runGSINO(ctx context.Context) (*Outcome, error) {
 	start := time.Now()
 	engBase := r.eng.Stats()
-	res, err := r.routeAll(true) // Phase I
+	res, err := r.routeAll(ctx, true) // Phase I
 	if err != nil {
 		return nil, err
 	}

@@ -64,8 +64,10 @@ func (r *Runner) netsForRouting() []route.Net {
 	return out
 }
 
-// routeAll runs the ID router.
-func (r *Runner) routeAll(shieldAware bool) (*route.Result, error) {
+// routeAll runs the ID router — Phase I — sharded across the engine's
+// worker pool. The tile decomposition is a fixed function of the design,
+// so the routing result is byte-identical at every worker count.
+func (r *Runner) routeAll(ctx context.Context, shieldAware bool) (*route.Result, error) {
 	cfg := route.Config{
 		Alpha: r.params.Alpha, Beta: r.params.Beta, Gamma: r.params.Gamma,
 		ShieldAware: shieldAware,
@@ -75,7 +77,7 @@ func (r *Runner) routeAll(shieldAware bool) (*route.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return router.Run(), nil
+	return router.RunSharded(ctx, r.eng, route.ShardConfig{})
 }
 
 // budgetMode selects how per-segment bounds are derived.
@@ -394,5 +396,6 @@ func (st *chipState) outcome(flow Flow) *Outcome {
 	u := st.usage()
 	o.Area = g.RoutingArea(u)
 	o.Congestion = g.Stats(u)
+	o.Route = st.routed.Stats
 	return o
 }

@@ -13,7 +13,7 @@ func refineFixture(t *testing.T, nNets int, rate float64, seed int64) (*Runner, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.routeAll(true)
+	res, err := r.routeAll(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestTreeBudgetTighterForLongNets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.routeAll(false)
+	res, err := r.routeAll(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,9 +17,14 @@
 //     share one sharded keff.PairCache, whose entries are pure functions of
 //     geometry — a racy double-compute stores the same bits.
 //
+// Beyond SINO instances, the engine runs arbitrary function jobs on the
+// same bounded pool via RunTasks — Phase I's sharded iterative-deletion
+// router drains its tile groups this way (see internal/route), so all
+// three GSINO phases share one worker budget.
+//
 // The engine also owns the run counters the CLI tools report: instances
-// solved, tracks and shields in the returned solutions, and the coupling
-// cache hit rate.
+// solved, generic tasks executed, tracks and shields in the returned
+// solutions, and the coupling cache hit rate.
 package engine
 
 import (
@@ -108,6 +113,7 @@ type Config struct {
 type Stats struct {
 	Workers   int    // pool bound
 	Jobs      uint64 // instances solved (all modes)
+	Tasks     uint64 // generic tasks executed via RunTasks
 	Errors    uint64 // jobs that returned an error
 	Tracks    uint64 // total tracks across returned solutions
 	Shields   uint64 // total shield tracks across returned solutions
@@ -128,6 +134,7 @@ func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
 		Workers:   s.Workers,
 		Jobs:      s.Jobs - prev.Jobs,
+		Tasks:     s.Tasks - prev.Tasks,
 		Errors:    s.Errors - prev.Errors,
 		Tracks:    s.Tracks - prev.Tracks,
 		Shields:   s.Shields - prev.Shields,
@@ -149,6 +156,7 @@ type Engine struct {
 	models []*keff.Model // one per worker, created at first Run
 
 	jobs    atomic.Uint64
+	tasks   atomic.Uint64
 	errors  atomic.Uint64
 	tracks  atomic.Uint64
 	shields atomic.Uint64
@@ -200,6 +208,7 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Workers:   e.workers,
 		Jobs:      e.jobs.Load(),
+		Tasks:     e.tasks.Load(),
 		Errors:    e.errors.Load(),
 		Tracks:    e.tracks.Load(),
 		Shields:   e.shields.Load(),
@@ -266,6 +275,73 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	}
 	wg.Wait()
 	return results, ctx.Err()
+}
+
+// RunTasks executes arbitrary function jobs on the engine's bounded pool —
+// the generic counterpart of Run for workloads that are not SINO instances
+// (Phase I routing shards, batch table builds). Tasks must not share
+// mutable state with each other. RunTasks returns the first task error in
+// submission order, or the context's error on cancellation (unstarted
+// tasks are skipped); it implements route.Pool.
+//
+// Panics in a task are converted to errors, matching Run's contract that a
+// poisoned work item cannot take down the pool.
+func (e *Engine) RunTasks(ctx context.Context, tasks []func() error) error {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+
+	if len(tasks) == 0 {
+		return ctx.Err()
+	}
+	workers := e.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	errs := make([]error, len(tasks))
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(tasks) {
+					return
+				}
+				if ctx.Err() != nil {
+					continue // drain remaining indices without running them
+				}
+				errs[i] = e.runTask(tasks[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("engine: task %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// runTask runs one generic task, converting panics into errors.
+func (e *Engine) runTask(task func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: task panicked: %v", r)
+		}
+		e.tasks.Add(1)
+		if err != nil {
+			e.errors.Add(1)
+		}
+	}()
+	return task()
 }
 
 // solveJob runs one job on one worker, converting solver panics (invalid

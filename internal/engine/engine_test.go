@@ -2,7 +2,10 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/keff"
@@ -114,7 +117,7 @@ func TestRepairMode(t *testing.T) {
 
 func TestPerJobErrorPropagation(t *testing.T) {
 	jobs := makeJobs(6, ModeSolve)
-	jobs[2].Inst.Segs[0].Kth = -1 // sino.Solve panics on invalid instances
+	jobs[2].Inst.Segs[0].Kth = -1                       // sino.Solve panics on invalid instances
 	jobs[4] = Job{Mode: ModeRepair, Inst: jobs[4].Inst} // missing Prev
 	res, err := New(Config{Workers: 3}).Run(context.Background(), jobs)
 	if err != nil {
@@ -231,4 +234,65 @@ func ExampleEngine() {
 	})
 	fmt.Println("feasible:", res[0].Check.Feasible())
 	// Output: feasible: true
+}
+
+func TestRunTasks(t *testing.T) {
+	e := New(Config{Workers: 4})
+	var counter atomic.Int64
+	tasks := make([]func() error, 50)
+	for i := range tasks {
+		tasks[i] = func() error { counter.Add(1); return nil }
+	}
+	if err := e.RunTasks(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Load() != 50 {
+		t.Errorf("ran %d tasks, want 50", counter.Load())
+	}
+	if st := e.Stats(); st.Tasks != 50 {
+		t.Errorf("Stats.Tasks = %d, want 50", st.Tasks)
+	}
+}
+
+func TestRunTasksFirstErrorInSubmissionOrder(t *testing.T) {
+	e := New(Config{Workers: 4})
+	tasks := []func() error{
+		func() error { return nil },
+		func() error { return errors.New("boom-1") },
+		func() error { return errors.New("boom-2") },
+	}
+	err := e.RunTasks(context.Background(), tasks)
+	if err == nil || !strings.Contains(err.Error(), "task 1") || !strings.Contains(err.Error(), "boom-1") {
+		t.Errorf("err = %v, want task 1 boom-1", err)
+	}
+	if st := e.Stats(); st.Errors != 2 {
+		t.Errorf("Stats.Errors = %d, want 2", st.Errors)
+	}
+}
+
+func TestRunTasksPanicBecomesError(t *testing.T) {
+	e := New(Config{Workers: 2})
+	err := e.RunTasks(context.Background(), []func() error{
+		func() error { panic("poisoned") },
+	})
+	if err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Errorf("err = %v, want panic converted", err)
+	}
+}
+
+func TestRunTasksCancelledContext(t *testing.T) {
+	e := New(Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	tasks := make([]func() error, 10)
+	for i := range tasks {
+		tasks[i] = func() error { ran.Add(1); return nil }
+	}
+	if err := e.RunTasks(ctx, tasks); err == nil {
+		t.Error("cancelled context: want error")
+	}
+	if ran.Load() != 0 {
+		t.Errorf("cancelled run still executed %d tasks", ran.Load())
+	}
 }

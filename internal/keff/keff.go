@@ -12,6 +12,12 @@
 //   - The length-scaled Keff model (LSK, §2.2): LSK_i = Σ_r l_r·K_i^r summed
 //     over the regions r the net crosses, mapped to a crosstalk voltage by a
 //     100-entry lookup table built from transient simulations.
+//
+// Concurrency contract (what internal/engine builds on): a Model memoizes
+// partial inductances lazily and is NOT safe for concurrent use — clone one
+// per worker with Model.Clone. A PairCache stores pure functions of track
+// geometry behind lock-free/sharded structures and IS safe to share across
+// workers and engines; cached and uncached runs are bit-identical.
 package keff
 
 import (

@@ -96,9 +96,10 @@ func renderAll(t *testing.T, workers int) string {
 }
 
 // TestParallelPipelineMatchesSequentialReport is the engine's determinism
-// contract end to end: the full pipeline (routing, Phase II SINO, Phase III
-// refinement) run with one worker and with many workers must render
-// byte-identical reports.
+// contract end to end: the full pipeline — Phase I sharded iterative
+// deletion (tile groups drained on the pool, boundary reconciliation
+// included), Phase II SINO, Phase III refinement — run with one worker and
+// with many workers must render byte-identical reports.
 func TestParallelPipelineMatchesSequentialReport(t *testing.T) {
 	seq := renderAll(t, 1)
 	for _, workers := range []int{4, 8} {

@@ -25,6 +25,17 @@
 // that direction (n ∈ {0,1,2}). The estimate starts pessimistic and
 // converges to the true usage as graphs shrink to trees, and it only
 // decreases — which makes lazy priority-queue maintenance sound.
+//
+// The router runs in two modes. Run executes the classic single-heap
+// sequential deletion. RunSharded partitions the nets into spatial tile
+// groups and drains each group's own heap concurrently on a worker pool
+// (see shard.go): every group routes against the frozen pre-deletion
+// utilization of foreign groups plus its own live updates, the per-group
+// deltas merge back deterministically, and a bounded number of
+// reconciliation rounds re-routes nets through overflowed boundary
+// regions. The sharded fixpoint is a pure function of the input — the
+// worker count never changes a single byte of the Result — and with a 1×1
+// tile grid it degenerates to exactly the sequential algorithm.
 package route
 
 import (
@@ -105,6 +116,18 @@ type Result struct {
 	// Usage is the exact per-region track demand of the routed nets
 	// (one track per net per region per direction used; no shields).
 	Usage *grid.Usage
+	// Stats describes how the run decomposed the problem (see RunStats).
+	Stats RunStats
+}
+
+// RunStats reports how a routing run was scheduled. Sequential Run reports
+// a single shard; RunSharded reports the tile decomposition and the
+// boundary-reconciliation work.
+type RunStats struct {
+	Shards          int // tile groups drained independently
+	LargestShard    int // nets in the most populated group
+	Reconciled      int // net re-routes performed by reconciliation rounds
+	ReconcileRounds int // reconciliation rounds that ran
 }
 
 // TotalWirelengthUM sums tree wirelengths.
@@ -176,8 +199,26 @@ type item struct {
 
 type edgeHeap []item
 
-func (h edgeHeap) Len() int            { return len(h) }
-func (h edgeHeap) Less(i, j int) bool  { return h[i].key > h[j].key } // max-heap
+func (h edgeHeap) Len() int { return len(h) }
+
+// Less orders the max-heap by key, with a total tie-break on the edge
+// identity. The total order makes the pop sequence a pure function of the
+// heap's contents — independent of insertion order and of how the items
+// were split across shard heaps — which the sharded runner's determinism
+// argument relies on.
+func (h edgeHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.key != b.key {
+		return a.key > b.key
+	}
+	if a.net != b.net {
+		return a.net < b.net
+	}
+	if a.edge != b.edge {
+		return a.edge < b.edge
+	}
+	return a.horz && !b.horz
+}
 func (h edgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *edgeHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
 func (h *edgeHeap) Pop() interface{} {
@@ -270,13 +311,13 @@ func (r *Router) addNet(net Net) {
 	for y := bbox.MinY; y <= bbox.MaxY; y++ {
 		for x := bbox.MinX; x < bbox.MaxX; x++ {
 			r.pq = append(r.pq, item{net: int32(idx), edge: int32(ns2.hEdge(x, y)), horz: true,
-				key: r.edgeWeight(idx, x, y, true)})
+				key: r.edgeWeight(idx, x, y, true, nil)})
 		}
 	}
 	for y := bbox.MinY; y < bbox.MaxY; y++ {
 		for x := bbox.MinX; x <= bbox.MaxX; x++ {
 			r.pq = append(r.pq, item{net: int32(idx), edge: int32(ns2.vEdge(x, y)), horz: false,
-				key: r.edgeWeight(idx, x, y, false)})
+				key: r.edgeWeight(idx, x, y, false, nil)})
 		}
 	}
 }
@@ -349,7 +390,10 @@ func (n *netState) spineFactor(a, b int) float64 {
 	return 1 + 2*d/n.spineNorm
 }
 
-// bumpH adjusts the expected horizontal utilization sums of region (x,y).
+// bumpH adjusts the expected horizontal utilization sums of region (x,y)
+// in the router's base arrays. Only the sequential phases (net seeding,
+// delta merges, reconciliation bookkeeping) write the base; during a
+// sharded drain all updates go to the draining view's private deltas.
 func (r *Router) bumpH(x, y int, rate, delta float64) {
 	i := y*r.g.Cols + x
 	r.nnsH[i] += delta
@@ -364,32 +408,49 @@ func (r *Router) bumpV(x, y int, rate, delta float64) {
 	r.sumS2V[i] += delta * rate * rate
 }
 
-// regionHU returns the expected horizontal utilization of region index i,
-// including the shield estimate when shield-aware, minus the contribution
+// regionHU returns the expected horizontal utilization of region (x,y) —
+// the frozen base plus v's private deltas when v is non-nil — including
+// the shield estimate when shield-aware, minus the contribution
 // ownNns/ownRate of the net whose edge is being weighed: a net occupies one
 // track regardless of which of its candidate edges survive, so it must not
 // repel itself (and the exclusion keeps weights monotone, since an own-edge
 // deletion cancels out of HU−own).
-func (r *Router) regionHU(i int, ownNns, ownRate float64) float64 {
-	nns := r.nnsH[i] - ownNns
+func (r *Router) regionHU(x, y int, ownNns, ownRate float64, v *view) float64 {
+	i := y*r.g.Cols + x
+	nns, ss, s2 := r.nnsH[i], r.sumSH[i], r.sumS2H[i]
+	if v != nil {
+		w := v.widx(x, y)
+		nns += v.dNnsH[w]
+		ss += v.dSumSH[w]
+		s2 += v.dSumS2H[w]
+	}
+	nns -= ownNns
 	if nns < 0 {
 		nns = 0
 	}
 	hu := nns
 	if r.cfg.ShieldAware {
-		hu += r.cfg.Coeffs.Estimate(nns, r.sumSH[i]-ownNns*ownRate, r.sumS2H[i]-ownNns*ownRate*ownRate)
+		hu += r.cfg.Coeffs.Estimate(nns, ss-ownNns*ownRate, s2-ownNns*ownRate*ownRate)
 	}
 	return hu
 }
 
-func (r *Router) regionVU(i int, ownNns, ownRate float64) float64 {
-	nns := r.nnsV[i] - ownNns
+func (r *Router) regionVU(x, y int, ownNns, ownRate float64, v *view) float64 {
+	i := y*r.g.Cols + x
+	nns, ss, s2 := r.nnsV[i], r.sumSV[i], r.sumS2V[i]
+	if v != nil {
+		w := v.widx(x, y)
+		nns += v.dNnsV[w]
+		ss += v.dSumSV[w]
+		s2 += v.dSumS2V[w]
+	}
+	nns -= ownNns
 	if nns < 0 {
 		nns = 0
 	}
 	vu := nns
 	if r.cfg.ShieldAware {
-		vu += r.cfg.Coeffs.Estimate(nns, r.sumSV[i]-ownNns*ownRate, r.sumS2V[i]-ownNns*ownRate*ownRate)
+		vu += r.cfg.Coeffs.Estimate(nns, ss-ownNns*ownRate, s2-ownNns*ownRate*ownRate)
 	}
 	return vu
 }
@@ -424,28 +485,26 @@ func (ns *netState) ownV(x, y int) float64 {
 
 // edgeWeight evaluates Formula (2) for the edge of net netIdx anchored at
 // region (x,y) in the given direction (the edge spans (x,y)-(x+1,y) or
-// (x,y)-(x,y+1)).
-func (r *Router) edgeWeight(netIdx, x, y int, horz bool) float64 {
+// (x,y)-(x,y+1)). Utilization reads go through v's deltas when v is
+// non-nil; a nil view reads the base arrays alone (net seeding time).
+func (r *Router) edgeWeight(netIdx, x, y int, horz bool, v *view) float64 {
 	ns := &r.nets[netIdx]
 	var lenUM geom.Micron
 	var d1, d2, o1, o2 float64
 	var va, vb int
-	i1 := y*r.g.Cols + x
 	if horz {
 		lenUM = r.g.CellW
-		i2 := y*r.g.Cols + x + 1
 		cap := float64(r.g.HC)
-		hu1 := r.regionHU(i1, ns.ownH(x, y), ns.rate)
-		hu2 := r.regionHU(i2, ns.ownH(x+1, y), ns.rate)
+		hu1 := r.regionHU(x, y, ns.ownH(x, y), ns.rate, v)
+		hu2 := r.regionHU(x+1, y, ns.ownH(x+1, y), ns.rate, v)
 		d1, d2 = hu1/cap, hu2/cap
 		o1, o2 = relOver(hu1, cap), relOver(hu2, cap)
 		va, vb = ns.vertex(x, y), ns.vertex(x+1, y)
 	} else {
 		lenUM = r.g.CellH
-		i2 := (y+1)*r.g.Cols + x
 		cap := float64(r.g.VC)
-		vu1 := r.regionVU(i1, ns.ownV(x, y), ns.rate)
-		vu2 := r.regionVU(i2, ns.ownV(x, y+1), ns.rate)
+		vu1 := r.regionVU(x, y, ns.ownV(x, y), ns.rate, v)
+		vu2 := r.regionVU(x, y+1, ns.ownV(x, y+1), ns.rate, v)
 		d1, d2 = vu1/cap, vu2/cap
 		o1, o2 = relOver(vu1, cap), relOver(vu2, cap)
 		va, vb = ns.vertex(x, y), ns.vertex(x, y+1)

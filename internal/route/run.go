@@ -2,6 +2,8 @@ package route
 
 import (
 	"container/heap"
+	"context"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/grid"
@@ -12,11 +14,92 @@ import (
 // recomputed weight sits within the slack of its key is the true maximum.
 const weightSlack = 1e-6
 
+// view is one deletion context's window onto the utilization state: the
+// router's frozen base arrays plus a private set of delta arrays covering
+// the window rectangle, and the heap of edges it is responsible for.
+//
+// Sequential Run uses a single view spanning the whole grid. RunSharded
+// gives every tile group its own view, so concurrent drains never write
+// shared memory: a group reads the base (immutable while drains run) plus
+// only its own deltas, which is exactly the frozen-foreign-state semantics
+// the determinism argument in shard.go builds on.
+type view struct {
+	r     *Router
+	win   geom.Rect
+	wcols int
+
+	dNnsH, dSumSH, dSumS2H []float64
+	dNnsV, dSumSV, dSumS2V []float64
+
+	pq edgeHeap
+}
+
+func newView(r *Router, win geom.Rect) *view {
+	n := win.Cells()
+	return &view{
+		r: r, win: win, wcols: win.Width(),
+		dNnsH: make([]float64, n), dSumSH: make([]float64, n), dSumS2H: make([]float64, n),
+		dNnsV: make([]float64, n), dSumSV: make([]float64, n), dSumS2V: make([]float64, n),
+	}
+}
+
+// widx maps a global region coordinate into the view's window arrays.
+func (v *view) widx(x, y int) int { return (y-v.win.MinY)*v.wcols + (x - v.win.MinX) }
+
+// bumpH adjusts the view's private horizontal utilization deltas.
+func (v *view) bumpH(x, y int, rate, delta float64) {
+	w := v.widx(x, y)
+	v.dNnsH[w] += delta
+	v.dSumSH[w] += delta * rate
+	v.dSumS2H[w] += delta * rate * rate
+}
+
+func (v *view) bumpV(x, y int, rate, delta float64) {
+	w := v.widx(x, y)
+	v.dNnsV[w] += delta
+	v.dSumSV[w] += delta * rate
+	v.dSumS2V[w] += delta * rate * rate
+}
+
+// merge folds the view's deltas into the router's base arrays. Sequential
+// only: callers serialize merges in a fixed order so the float additions
+// are reproducible.
+func (v *view) merge() {
+	r := v.r
+	for y := v.win.MinY; y <= v.win.MaxY; y++ {
+		for x := v.win.MinX; x <= v.win.MaxX; x++ {
+			i, w := y*r.g.Cols+x, v.widx(x, y)
+			r.nnsH[i] += v.dNnsH[w]
+			r.sumSH[i] += v.dSumSH[w]
+			r.sumS2H[i] += v.dSumS2H[w]
+			r.nnsV[i] += v.dNnsV[w]
+			r.sumSV[i] += v.dSumSV[w]
+			r.sumS2V[i] += v.dSumS2V[w]
+		}
+	}
+}
+
 // Run executes the iterative deletion to the fixpoint and extracts each
-// net's Steiner tree.
+// net's Steiner tree. It is the sequential reference algorithm: one heap,
+// one view spanning the grid. A Router is single-use — call exactly one of
+// Run or RunSharded, once.
 func (r *Router) Run() *Result {
-	for r.pq.Len() > 0 {
-		it := heap.Pop(&r.pq).(item)
+	v := newView(r, r.g.Bounds())
+	v.pq = r.pq
+	r.pq = nil
+	v.drain()
+	v.merge()
+	res := r.extract()
+	res.Stats = RunStats{Shards: 1, LargestShard: len(r.nets)}
+	return res
+}
+
+// drain pops the view's heap to its fixpoint, deleting the highest-weight
+// deletable edge of the view's nets each step.
+func (v *view) drain() {
+	r := v.r
+	for v.pq.Len() > 0 {
+		it := heap.Pop(&v.pq).(item)
 		ns := &r.nets[it.net]
 		var alive, frozen []bool
 		if it.horz {
@@ -28,10 +111,10 @@ func (r *Router) Run() *Result {
 			continue
 		}
 		x, y := r.edgeOrigin(ns, int(it.edge), it.horz)
-		w := r.edgeWeight(int(it.net), x, y, it.horz)
+		w := r.edgeWeight(int(it.net), x, y, it.horz, v)
 		if w < it.key-weightSlack {
 			it.key = w
-			heap.Push(&r.pq, it)
+			heap.Push(&v.pq, it)
 			continue
 		}
 		if r.disconnectsPins(ns, int(it.edge), it.horz) {
@@ -42,14 +125,13 @@ func (r *Router) Run() *Result {
 		alive[it.edge] = false
 		ns.nAlive--
 		if it.horz {
-			r.bumpH(x, y, ns.rate, -0.5)
-			r.bumpH(x+1, y, ns.rate, -0.5)
+			v.bumpH(x, y, ns.rate, -0.5)
+			v.bumpH(x+1, y, ns.rate, -0.5)
 		} else {
-			r.bumpV(x, y, ns.rate, -0.5)
-			r.bumpV(x, y+1, ns.rate, -0.5)
+			v.bumpV(x, y, ns.rate, -0.5)
+			v.bumpV(x, y+1, ns.rate, -0.5)
 		}
 	}
-	return r.extract()
 }
 
 // edgeOrigin recovers the global anchor region (x, y) of a local edge index.
@@ -124,7 +206,55 @@ func (r *Router) extract() *Result {
 		Trees: make([]Tree, len(r.nets)),
 		Usage: grid.NewUsage(r.g),
 	}
-	for ni := range r.nets {
+	r.extractRange(res.Trees, res.Usage, 0, len(r.nets))
+	return res
+}
+
+// extractChunk is the net count each parallel extraction task handles.
+const extractChunk = 256
+
+// extractParallel materializes trees and usage with the per-net work
+// fanned out over the pool in fixed-size chunks. Chunk boundaries are a
+// pure function of the net count, tree slots are disjoint, and per-chunk
+// usage tallies hold integer counts, so the summed usage is exact and the
+// result matches sequential extract byte for byte at any worker count.
+func (r *Router) extractParallel(ctx context.Context, pool Pool) (*Result, error) {
+	n := len(r.nets)
+	if pool == nil || n <= extractChunk {
+		return r.extract(), nil
+	}
+	res := &Result{
+		Trees: make([]Tree, n),
+		Usage: grid.NewUsage(r.g),
+	}
+	nChunks := (n + extractChunk - 1) / extractChunk
+	usages := make([]*grid.Usage, nChunks)
+	tasks := make([]func() error, nChunks)
+	for c := 0; c < nChunks; c++ {
+		c := c
+		tasks[c] = func() error {
+			lo := c * extractChunk
+			hi := min(lo+extractChunk, n)
+			usages[c] = grid.NewUsage(r.g)
+			r.extractRange(res.Trees, usages[c], lo, hi)
+			return nil
+		}
+	}
+	if err := pool.RunTasks(ctx, tasks); err != nil {
+		return nil, err
+	}
+	for _, u := range usages {
+		for i := range u.H {
+			res.Usage.H[i] += u.H[i]
+			res.Usage.V[i] += u.V[i]
+		}
+	}
+	return res, nil
+}
+
+// extractRange builds trees[lo:hi] and accumulates their exact usage.
+func (r *Router) extractRange(trees []Tree, usage *grid.Usage, lo, hi int) {
+	for ni := lo; ni < hi; ni++ {
 		ns := &r.nets[ni]
 		tree := Tree{Net: ns.id}
 		hTouched := make(map[geom.Point]bool)
@@ -154,11 +284,11 @@ func (r *Router) extract() *Result {
 		regionSet := make(map[geom.Point]bool, len(hTouched)+len(vTouched))
 		for p := range hTouched {
 			regionSet[p] = true
-			res.Usage.H[r.g.Index(p)]++
+			usage.H[r.g.Index(p)]++
 		}
 		for p := range vTouched {
 			regionSet[p] = true
-			res.Usage.V[r.g.Index(p)]++
+			usage.V[r.g.Index(p)]++
 		}
 		// Pin regions are part of the route even when edgeless.
 		for v, isPin := range ns.pinMask {
@@ -167,13 +297,20 @@ func (r *Router) extract() *Result {
 				regionSet[p] = true
 			}
 		}
+		// Emit regions in scan order: downstream consumers iterate Regions,
+		// and map order would leak nondeterminism into reports.
 		tree.Regions = make([]geom.Point, 0, len(regionSet))
 		for p := range regionSet {
 			tree.Regions = append(tree.Regions, p)
 		}
-		res.Trees[ni] = tree
+		sort.Slice(tree.Regions, func(a, b int) bool {
+			if tree.Regions[a].Y != tree.Regions[b].Y {
+				return tree.Regions[a].Y < tree.Regions[b].Y
+			}
+			return tree.Regions[a].X < tree.Regions[b].X
+		})
+		trees[ni] = tree
 	}
-	return res
 }
 
 // TouchesDirection reports per-direction track occupancy of a tree: the

@@ -1,0 +1,314 @@
+package route
+
+import (
+	"container/heap"
+	"context"
+
+	"repro/internal/geom"
+)
+
+// Pool runs a batch of independent tasks, possibly concurrently, returning
+// the first task error (or the context's error on cancellation). The
+// concurrent region-solve engine (internal/engine) implements Pool; the
+// router depends only on this interface so it stays engine-agnostic.
+type Pool interface {
+	RunTasks(ctx context.Context, tasks []func() error) error
+}
+
+// ShardConfig tunes RunSharded's tile decomposition. The configuration is
+// part of the algorithm definition: two runs with equal ShardConfig produce
+// byte-identical results at any worker count, but different tilings are
+// different (equally valid) deletion schedules.
+type ShardConfig struct {
+	// TileCols, TileRows set the tile grid that groups nets by bounding-box
+	// center; 0 selects min(8, grid dimension). A 1×1 tiling degenerates to
+	// exactly the sequential Run algorithm.
+	TileCols, TileRows int
+
+	// MaxReconcileRounds bounds the boundary-reconciliation loop; 0 selects
+	// 2, negative disables reconciliation.
+	MaxReconcileRounds int
+}
+
+func (c ShardConfig) withDefaults(cols, rows int) ShardConfig {
+	if c.TileCols <= 0 {
+		c.TileCols = min(8, cols)
+	}
+	if c.TileRows <= 0 {
+		c.TileRows = min(8, rows)
+	}
+	if c.MaxReconcileRounds == 0 {
+		c.MaxReconcileRounds = 2
+	}
+	return c
+}
+
+// RunSharded executes the iterative deletion sharded across tile groups:
+//
+//  1. Partition: every net joins the tile containing its bounding-box
+//     center, so each net belongs to exactly one group and group membership
+//     is a pure function of the input (never of the worker count).
+//  2. Parallel drain: each group drains its own heap against the frozen
+//     post-seeding base utilization plus the group's private deltas. Foreign
+//     groups' deletions are invisible until the merge, which makes every
+//     group's fixpoint independent of scheduling — and conservatively
+//     pessimistic, since expected utilization only decreases as foreign
+//     graphs shrink.
+//  3. Merge: group deltas fold into the base arrays in tile order, giving
+//     one deterministic global utilization state.
+//  4. Reconcile: for at most MaxReconcileRounds rounds, nets whose trees
+//     cross a capacity-overflowed region (almost always a tile boundary the
+//     frozen state under-penalized) are ripped up and re-routed
+//     sequentially, in net order, against the now-accurate state.
+//
+// Every step is either embarrassingly parallel over private state or
+// sequential in a fixed order, so the Result is byte-identical whether the
+// pool runs one worker or many. A nil pool drains the groups serially.
+func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*Result, error) {
+	cfg = cfg.withDefaults(r.g.Cols, r.g.Rows)
+	groups := r.partition(cfg)
+
+	stats := RunStats{Shards: len(groups)}
+	views := make([]*view, len(groups))
+	owner := make([]int32, len(r.nets)) // net index -> group index
+	for gi, nets := range groups {
+		if len(nets) > stats.LargestShard {
+			stats.LargestShard = len(nets)
+		}
+		win := r.nets[nets[0]].bbox
+		for _, ni := range nets[1:] {
+			win = unionRect(win, r.nets[ni].bbox)
+		}
+		views[gi] = newView(r, win)
+		for _, ni := range nets {
+			owner[ni] = int32(gi)
+		}
+	}
+
+	// Split the seeded heap across the groups and restore heap order. The
+	// total order on items (see edgeHeap.Less) makes each group's pop
+	// sequence independent of how the global slice was interleaved.
+	for _, it := range r.pq {
+		v := views[owner[it.net]]
+		v.pq = append(v.pq, it)
+	}
+	r.pq = nil
+	for _, v := range views {
+		heap.Init(&v.pq)
+	}
+
+	if pool == nil || len(views) == 1 {
+		for _, v := range views {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v.drain()
+		}
+	} else {
+		tasks := make([]func() error, len(views))
+		for i := range views {
+			v := views[i]
+			tasks[i] = func() error { v.drain(); return nil }
+		}
+		if err := pool.RunTasks(ctx, tasks); err != nil {
+			return nil, err
+		}
+	}
+
+	// Deterministic merge: tile order, then window scan order within each.
+	for _, v := range views {
+		v.merge()
+	}
+
+	for round := 0; round < cfg.MaxReconcileRounds; round++ {
+		ripped := r.overflowNets()
+		if len(ripped) == 0 {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		stats.ReconcileRounds++
+		stats.Reconciled += len(ripped)
+		v := newView(r, r.g.Bounds())
+		for _, ni := range ripped {
+			r.reseed(ni, &v.pq)
+		}
+		heap.Init(&v.pq)
+		v.drain()
+		v.merge()
+	}
+
+	res, err := r.extractParallel(ctx, pool)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// partition groups net indices by the tile containing their bounding-box
+// center. Groups are emitted in tile scan order with their nets in input
+// order; empty tiles are dropped.
+func (r *Router) partition(cfg ShardConfig) [][]int {
+	tileW := (r.g.Cols + cfg.TileCols - 1) / cfg.TileCols
+	tileH := (r.g.Rows + cfg.TileRows - 1) / cfg.TileRows
+	tiles := make([][]int, cfg.TileCols*cfg.TileRows)
+	for ni := range r.nets {
+		b := r.nets[ni].bbox
+		tx := ((b.MinX + b.MaxX) / 2) / tileW
+		ty := ((b.MinY + b.MaxY) / 2) / tileH
+		if tx >= cfg.TileCols {
+			tx = cfg.TileCols - 1
+		}
+		if ty >= cfg.TileRows {
+			ty = cfg.TileRows - 1
+		}
+		t := ty*cfg.TileCols + tx
+		tiles[t] = append(tiles[t], ni)
+	}
+	groups := tiles[:0]
+	for _, nets := range tiles {
+		if len(nets) > 0 {
+			groups = append(groups, nets)
+		}
+	}
+	return groups
+}
+
+// overflowNets returns, in ascending net order, the nets whose trees hold a
+// track in a region whose exact usage exceeds capacity in that direction.
+// These are the candidates boundary reconciliation re-routes.
+func (r *Router) overflowNets() []int {
+	useH := make([]int, r.g.NumRegions())
+	useV := make([]int, r.g.NumRegions())
+	touched := make([][2][]int, len(r.nets)) // per net: [H regions, V regions]
+	for ni := range r.nets {
+		ns := &r.nets[ni]
+		hSeen := make(map[int]bool)
+		vSeen := make(map[int]bool)
+		mark := func(seen map[int]bool, out *[]int, x, y int) {
+			i := y*r.g.Cols + x
+			if !seen[i] {
+				seen[i] = true
+				*out = append(*out, i)
+			}
+		}
+		for e, alive := range ns.aliveH {
+			if !alive {
+				continue
+			}
+			x, y := r.edgeOrigin(ns, e, true)
+			mark(hSeen, &touched[ni][0], x, y)
+			mark(hSeen, &touched[ni][0], x+1, y)
+		}
+		for e, alive := range ns.aliveV {
+			if !alive {
+				continue
+			}
+			x, y := r.edgeOrigin(ns, e, false)
+			mark(vSeen, &touched[ni][1], x, y)
+			mark(vSeen, &touched[ni][1], x, y+1)
+		}
+		for _, i := range touched[ni][0] {
+			useH[i]++
+		}
+		for _, i := range touched[ni][1] {
+			useV[i]++
+		}
+	}
+	var out []int
+	for ni := range r.nets {
+		hot := false
+		for _, i := range touched[ni][0] {
+			if useH[i] > r.g.HC {
+				hot = true
+				break
+			}
+		}
+		if !hot {
+			for _, i := range touched[ni][1] {
+				if useV[i] > r.g.VC {
+					hot = true
+					break
+				}
+			}
+		}
+		if hot {
+			out = append(out, ni)
+		}
+	}
+	return out
+}
+
+// reseed rips up net ni — its base utilization contribution reverts from
+// the current surviving graph to the full connection graph, its deletion
+// state resets, and its edges are pushed onto pq with fresh base weights —
+// exactly the state addNet would have left it in.
+func (r *Router) reseed(ni int, pq *edgeHeap) {
+	ns := &r.nets[ni]
+	for e, alive := range ns.aliveH {
+		if alive {
+			x, y := r.edgeOrigin(ns, e, true)
+			r.bumpH(x, y, ns.rate, -0.5)
+			r.bumpH(x+1, y, ns.rate, -0.5)
+		}
+	}
+	for e, alive := range ns.aliveV {
+		if alive {
+			x, y := r.edgeOrigin(ns, e, false)
+			r.bumpV(x, y, ns.rate, -0.5)
+			r.bumpV(x, y+1, ns.rate, -0.5)
+		}
+	}
+	for i := range ns.aliveH {
+		ns.aliveH[i] = true
+		ns.frozenH[i] = false
+	}
+	for i := range ns.aliveV {
+		ns.aliveV[i] = true
+		ns.frozenV[i] = false
+	}
+	ns.nAlive = len(ns.aliveH) + len(ns.aliveV)
+	b := ns.bbox
+	for y := b.MinY; y <= b.MaxY; y++ {
+		for x := b.MinX; x < b.MaxX; x++ {
+			r.bumpH(x, y, ns.rate, +0.5)
+			r.bumpH(x+1, y, ns.rate, +0.5)
+		}
+	}
+	for y := b.MinY; y < b.MaxY; y++ {
+		for x := b.MinX; x <= b.MaxX; x++ {
+			r.bumpV(x, y, ns.rate, +0.5)
+			r.bumpV(x, y+1, ns.rate, +0.5)
+		}
+	}
+	for y := b.MinY; y <= b.MaxY; y++ {
+		for x := b.MinX; x < b.MaxX; x++ {
+			*pq = append(*pq, item{net: int32(ni), edge: int32(ns.hEdge(x, y)), horz: true,
+				key: r.edgeWeight(ni, x, y, true, nil)})
+		}
+	}
+	for y := b.MinY; y < b.MaxY; y++ {
+		for x := b.MinX; x <= b.MaxX; x++ {
+			*pq = append(*pq, item{net: int32(ni), edge: int32(ns.vEdge(x, y)), horz: false,
+				key: r.edgeWeight(ni, x, y, false, nil)})
+		}
+	}
+}
+
+func unionRect(a, b geom.Rect) geom.Rect {
+	if b.MinX < a.MinX {
+		a.MinX = b.MinX
+	}
+	if b.MinY < a.MinY {
+		a.MinY = b.MinY
+	}
+	if b.MaxX > a.MaxX {
+		a.MaxX = b.MaxX
+	}
+	if b.MaxY > a.MaxY {
+		a.MaxY = b.MaxY
+	}
+	return a
+}

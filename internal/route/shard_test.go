@@ -1,0 +1,243 @@
+package route
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// randomNets builds a deterministic pseudo-random net list on a cols×rows
+// grid.
+func randomNets(seed int64, n, cols, rows int) []Net {
+	rng := rand.New(rand.NewSource(seed))
+	nets := make([]Net, n)
+	for i := range nets {
+		np := 2 + rng.Intn(3)
+		pins := make([]geom.Point, np)
+		for j := range pins {
+			pins[j] = geom.Point{X: rng.Intn(cols), Y: rng.Intn(rows)}
+		}
+		nets[i] = Net{ID: i, Pins: pins, Rate: 0.3}
+	}
+	return nets
+}
+
+// resultsEqual compares two results byte-for-byte: trees (edges and
+// regions), exact usage, and run stats where requested.
+func resultsEqual(t *testing.T, a, b *Result, withStats bool) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Trees, b.Trees) {
+		t.Fatalf("trees differ")
+	}
+	if !reflect.DeepEqual(a.Usage.H, b.Usage.H) || !reflect.DeepEqual(a.Usage.V, b.Usage.V) {
+		t.Fatalf("usage differs")
+	}
+	if withStats && a.Stats != b.Stats {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestRunShardedSingleTileMatchesRun pins the degenerate-case contract: a
+// 1×1 tiling holds every net in one group with one heap, which must
+// reproduce the sequential router byte for byte (reconciliation disabled,
+// as Run has none).
+func TestRunShardedSingleTileMatchesRun(t *testing.T) {
+	g, err := grid.New(12, 12, 100, 100, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := randomNets(3, 40, 12, 12)
+	for _, aware := range []bool{false, true} {
+		seqR, err := NewRouter(g, Config{ShieldAware: aware}, nets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := seqR.Run()
+		shR, err := NewRouter(g, Config{ShieldAware: aware}, nets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := shR.RunSharded(context.Background(), nil,
+			ShardConfig{TileCols: 1, TileRows: 1, MaxReconcileRounds: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.Stats.Shards != 1 {
+			t.Fatalf("1x1 tiling produced %d shards", sh.Stats.Shards)
+		}
+		resultsEqual(t, seq, sh, false)
+	}
+}
+
+// TestRunShardedWorkerInvariance is Phase I's determinism contract: the
+// sharded fixpoint is a pure function of the input, so a nil pool, a
+// 1-worker engine, and an 8-worker engine must produce byte-identical
+// results. Tight capacities force the reconciliation path to run too.
+func TestRunShardedWorkerInvariance(t *testing.T) {
+	g, err := grid.New(16, 16, 100, 100, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := randomNets(7, 120, 16, 16)
+	run := func(pool Pool) *Result {
+		r, err := NewRouter(g, Config{ShieldAware: true}, nets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunSharded(context.Background(), pool, ShardConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(nil)
+	if base.Stats.Shards < 2 {
+		t.Fatalf("expected a multi-shard decomposition, got %d", base.Stats.Shards)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got := run(engine.New(engine.Config{Workers: workers}))
+		resultsEqual(t, base, got, true)
+	}
+	for i := range base.Trees {
+		if !base.Trees[i].IsTree() || !base.Trees[i].Connected(nets[i].Pins) {
+			t.Fatalf("net %d: invalid sharded route", i)
+		}
+	}
+}
+
+// TestRunShardedCrossTileNets covers the awkward partition cases: nets
+// whose bounding box spans many tiles (a chip-diagonal net), single-region
+// nets sitting exactly on tile boundaries, and nets hugging a boundary
+// column. All must route validly and account usage exactly.
+func TestRunShardedCrossTileNets(t *testing.T) {
+	// 8×8 grid with the default 8×8 tiling: every region is its own tile,
+	// so every multi-region net is a cross-tile net.
+	g, err := grid.New(8, 8, 100, 100, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := []Net{
+		{ID: 0, Pins: []geom.Point{{X: 0, Y: 0}, {X: 7, Y: 7}}},          // spans the whole tile grid
+		{ID: 1, Pins: []geom.Point{{X: 3, Y: 4}, {X: 3, Y: 4}}, Rate: 1}, // single-region, boundary tile
+		{ID: 2, Pins: []geom.Point{{X: 4, Y: 0}, {X: 4, Y: 7}}},          // rides a tile boundary column
+		{ID: 3, Pins: []geom.Point{{X: 0, Y: 3}, {X: 7, Y: 3}, {X: 4, Y: 6}}},
+	}
+	r, err := NewRouter(g, Config{ShieldAware: true}, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunSharded(context.Background(), engine.New(engine.Config{Workers: 4}), ShardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tree := range res.Trees {
+		if !tree.IsTree() || !tree.Connected(nets[i].Pins) {
+			t.Fatalf("net %d: invalid route", i)
+		}
+	}
+	if rg := res.Trees[1].Regions; len(rg) != 1 || rg[0] != (geom.Point{X: 3, Y: 4}) {
+		t.Errorf("single-region net regions = %v", res.Trees[1].Regions)
+	}
+	// Exact usage must match the trees regardless of which shard routed them.
+	want := grid.NewUsage(g)
+	for i := range res.Trees {
+		h, v := res.Trees[i].TouchesDirection()
+		for p := range h {
+			want.H[g.Index(p)]++
+		}
+		for p := range v {
+			want.V[g.Index(p)]++
+		}
+	}
+	if !reflect.DeepEqual(want.H, res.Usage.H) || !reflect.DeepEqual(want.V, res.Usage.V) {
+		t.Error("usage does not match trees")
+	}
+}
+
+// TestExtractRegionsSorted is the regression test for the map-iteration
+// nondeterminism extract() used to have: Tree.Regions must come out in
+// scan (y, x) order on every run.
+func TestExtractRegionsSorted(t *testing.T) {
+	g, err := grid.New(10, 10, 100, 100, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := randomNets(11, 20, 10, 10)
+	res, err := func() (*Result, error) {
+		r, err := NewRouter(g, Config{}, nets)
+		if err != nil {
+			return nil, err
+		}
+		return r.RunSharded(context.Background(), nil, ShardConfig{})
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tree := range res.Trees {
+		if len(tree.Regions) == 0 {
+			t.Fatalf("net %d: no regions", i)
+		}
+		sorted := sort.SliceIsSorted(tree.Regions, func(a, b int) bool {
+			if tree.Regions[a].Y != tree.Regions[b].Y {
+				return tree.Regions[a].Y < tree.Regions[b].Y
+			}
+			return tree.Regions[a].X < tree.Regions[b].X
+		})
+		if !sorted {
+			t.Errorf("net %d: regions not in scan order: %v", i, tree.Regions)
+		}
+	}
+}
+
+// TestRunShardedReconciliationBounded checks the reconciliation loop
+// terminates at its bound even on a design that genuinely overflows (more
+// parallel nets than tracks), and that ripped-up nets stay valid trees.
+func TestRunShardedReconciliationBounded(t *testing.T) {
+	g, err := grid.New(8, 3, 100, 100, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nets []Net
+	for i := 0; i < 6; i++ {
+		nets = append(nets, Net{ID: i, Pins: []geom.Point{{X: 0, Y: 1}, {X: 7, Y: 1}}})
+	}
+	r, err := NewRouter(g, Config{}, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunSharded(context.Background(), nil, ShardConfig{MaxReconcileRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ReconcileRounds > 3 {
+		t.Errorf("reconciliation ran %d rounds, bound 3", res.Stats.ReconcileRounds)
+	}
+	for i, tree := range res.Trees {
+		if !tree.IsTree() || !tree.Connected(nets[i].Pins) {
+			t.Fatalf("net %d: invalid route after reconciliation", i)
+		}
+	}
+}
+
+// TestRunShardedContextCancel verifies a cancelled context aborts the run.
+func TestRunShardedContextCancel(t *testing.T) {
+	g, err := grid.New(8, 8, 100, 100, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(g, Config{}, randomNets(1, 10, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunSharded(ctx, engine.New(engine.Config{Workers: 2}), ShardConfig{}); err == nil {
+		t.Error("cancelled context: want error")
+	}
+}

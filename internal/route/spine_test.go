@@ -79,7 +79,7 @@ func TestWeightsMonotoneUnderDeletion(t *testing.T) {
 		for e, alive := range ns.aliveH {
 			if alive {
 				x, y := r.edgeOrigin(ns, e, true)
-				probes = append(probes, probe{ni, x, y, true, r.edgeWeight(ni, x, y, true)})
+				probes = append(probes, probe{ni, x, y, true, r.edgeWeight(ni, x, y, true, nil)})
 			}
 		}
 	}
@@ -90,7 +90,7 @@ func TestWeightsMonotoneUnderDeletion(t *testing.T) {
 		if !ns.aliveH[ns.hEdge(p.x, p.y)] {
 			continue
 		}
-		if w := r.edgeWeight(p.net, p.x, p.y, p.horz); w > p.initial+1e-9 {
+		if w := r.edgeWeight(p.net, p.x, p.y, p.horz, nil); w > p.initial+1e-9 {
 			t.Fatalf("edge weight rose from %g to %g", p.initial, w)
 		}
 	}
