@@ -143,18 +143,26 @@ func BenchmarkShieldEstimate(b *testing.B) {
 }
 
 // BenchmarkSINOSolver measures the per-region SINO heuristic across
-// instance sizes — the inner loop of Phases II and III.
+// instance sizes — the inner loop of Phases II and III — on a pooled
+// evaluator, the way engine workers invoke it. The oneshot variant keeps
+// the cold-start cost (fresh evaluator per call) visible.
 func BenchmarkSINOSolver(b *testing.B) {
 	for _, n := range []int{10, 30, 60, 120} {
+		model := keff.NewModel(tech.Default())
+		sens := netlist.NewHashSensitivity(5, 0.3, n)
+		segs := make([]sino.Seg, n)
+		for i := range segs {
+			segs[i] = sino.Seg{Net: i, Kth: 0.7, Rate: 0.3}
+		}
+		in := &sino.Instance{Segs: segs, Sensitive: sens.Sensitive, Model: model}
 		b.Run(fmt.Sprintf("segs%d", n), func(b *testing.B) {
-			model := keff.NewModel(tech.Default())
-			sens := netlist.NewHashSensitivity(5, 0.3, n)
-			segs := make([]sino.Seg, n)
-			for i := range segs {
-				segs[i] = sino.Seg{Net: i, Kth: 0.7, Rate: 0.3}
-			}
-			in := &sino.Instance{Segs: segs, Sensitive: sens.Sensitive, Model: model}
+			ev := sino.NewEval()
 			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sino.SolveWith(ev, in)
+			}
+		})
+		b.Run(fmt.Sprintf("segs%d/oneshot", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sino.Solve(in)
 			}

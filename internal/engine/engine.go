@@ -254,6 +254,10 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		wg.Add(1)
 		go func(model *keff.Model) {
 			defer wg.Done()
+			// One incremental evaluator per worker: its buffers (and, for
+			// cache-less instances, its coupling memo) are reused by every
+			// job the worker claims.
+			ev := sino.NewEval()
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= total {
@@ -263,7 +267,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 					results[i] = Result{Err: ctx.Err()}
 					continue // drain remaining indices with the ctx error
 				}
-				results[i] = e.solveJob(&jobs[i], model)
+				results[i] = e.solveJob(&jobs[i], model, ev)
 				if e.onProgress != nil {
 					progress.Lock()
 					done++
@@ -345,8 +349,8 @@ func (e *Engine) runTask(task func() error) (err error) {
 }
 
 // solveJob runs one job on one worker, converting solver panics (invalid
-// instances) into per-job errors.
-func (e *Engine) solveJob(job *Job, model *keff.Model) (res Result) {
+// instances) into per-job errors. ev is the worker's pooled evaluator.
+func (e *Engine) solveJob(job *Job, model *keff.Model, ev *sino.Eval) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: fmt.Errorf("engine: %s job panicked: %v", job.Mode, r)}
@@ -370,7 +374,7 @@ func (e *Engine) solveJob(job *Job, model *keff.Model) (res Result) {
 
 	switch job.Mode {
 	case ModeSolve:
-		sol, chk := sino.Solve(&inst)
+		sol, chk := sino.SolveWith(ev, &inst)
 		return Result{Sol: sol, Check: chk}
 	case ModeNetOrder:
 		sol, chk := sino.NetOrderOnly(&inst)
@@ -379,7 +383,7 @@ func (e *Engine) solveJob(job *Job, model *keff.Model) (res Result) {
 		if job.Prev == nil {
 			return Result{Err: fmt.Errorf("engine: repair job has no previous solution")}
 		}
-		chk := sino.Repair(&inst, job.Prev)
+		chk := sino.RepairWith(ev, &inst, job.Prev)
 		return Result{Sol: job.Prev, Check: chk}
 	default:
 		return Result{Err: fmt.Errorf("engine: unknown mode %d", int(job.Mode))}

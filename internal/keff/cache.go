@@ -277,35 +277,12 @@ func (m *Model) PairCouplingCached(c *PairCache, l Layout, ti, tj int) float64 {
 }
 
 // AllTotalsCached is AllTotals backed by a shared cache; a nil cache is
-// equivalent to AllTotals.
+// equivalent to AllTotals. Both are thin wrappers over Coupler.AllTotalsInto.
 func (m *Model) AllTotalsCached(c *PairCache, l Layout, sensitive func(a, b int) bool) []float64 {
 	tr := l.Tracks
 	out := make([]float64, len(tr))
-	shields := m.shieldTable(tr)
-	cutoff := m.PairCutoff()
-	var ls lookStats
-	for i := range tr {
-		if tr[i].Kind != SignalTrack {
-			continue
-		}
-		jMax := i + cutoff
-		if jMax >= len(tr) || jMax < 0 { // overflow guard for huge cutoffs
-			jMax = len(tr) - 1
-		}
-		for j := i + 1; j <= jMax; j++ {
-			if tr[j].Kind != SignalTrack {
-				continue
-			}
-			if !sensitive(tr[i].Net, tr[j].Net) {
-				continue
-			}
-			k := m.pairCouplingCached(c, &ls, i, j, shields[i], shields[j])
-			out[i] += k
-			out[j] += k
-		}
-	}
-	if c != nil {
-		c.flush(&ls)
-	}
+	cp := Coupler{m: m, c: c}
+	cp.AllTotalsInto(tr, m.shieldTable(tr), sensitive, out)
+	cp.Flush()
 	return out
 }

@@ -1,0 +1,264 @@
+package keff
+
+// This file is the single-worker evaluation front end of the coupling
+// model: a Coupler bundles a Model with whichever memoization applies (the
+// shared concurrency-safe PairCache, or a private open-addressed memo when
+// no shared cache exists) and batches cache statistics per caller
+// operation. The incremental SINO evaluator (internal/sino) keeps one
+// Coupler per worker; AllTotalsCached is a thin wrapper over the same code
+// path, so cached, memoized, and direct evaluations are bit-identical by
+// construction.
+
+// memoSlots is the fixed size of a Coupler's private memo: 8192 entries
+// (128 KiB) covers the few hundred to few thousand distinct relative
+// geometries one instance's edit history visits, with room to spare.
+const memoSlots = 1 << 13
+
+// memoEntry is one private-memo slot; key 0 marks an empty slot (a valid
+// packed key is never 0 because return distances are at least 1).
+type memoEntry struct {
+	key uint64
+	val float64
+}
+
+// Coupler evaluates pair couplings for one worker. It is not safe for
+// concurrent use (it wraps a Model, which memoizes lazily); concurrent
+// solvers give each worker its own Coupler, sharing at most the PairCache.
+//
+// Lookup order: the shared PairCache when one was supplied, else the
+// private memo when enabled, else direct computation. All three return the
+// exact same float64 bits for the same relative geometry — couplings are
+// pure functions of geometry, and both tiers store the computed value
+// verbatim — so the choice is invisible to callers.
+type Coupler struct {
+	m  *Model
+	c  *PairCache
+	ls lookStats
+
+	memo    []memoEntry
+	memoLen int
+}
+
+// NewCoupler returns a Coupler over m, using the shared cache c when
+// non-nil.
+func NewCoupler(m *Model, c *PairCache) *Coupler {
+	return &Coupler{m: m, c: c}
+}
+
+// Model returns the underlying coupling model.
+func (cp *Coupler) Model() *Model { return cp.m }
+
+// SharedCache returns the shared PairCache, or nil when the Coupler
+// computes directly or through its private memo.
+func (cp *Coupler) SharedCache() *PairCache { return cp.c }
+
+// EnableMemo switches a cache-less Coupler to a private open-addressed
+// memo of pair couplings. The memo costs a fixed 128 KiB, needs no locks
+// or atomics, and persists across instances solved by the same worker; it
+// is ignored while a shared cache is present. Repeated calls are no-ops.
+func (cp *Coupler) EnableMemo() {
+	if cp.memo == nil {
+		cp.memo = make([]memoEntry, memoSlots)
+	}
+}
+
+// Flush pushes batched hit/miss counters to the shared cache. Callers
+// batching many Pair evaluations (one solver operation, one totals pass)
+// flush once at the end instead of paying an atomic add per pair.
+func (cp *Coupler) Flush() {
+	if cp.c != nil {
+		cp.c.flush(&cp.ls)
+		cp.ls = lookStats{}
+	}
+}
+
+// packPairKey packs the relative geometry of one evaluation into a nonzero
+// uint64, or reports false when a field exceeds its range (huge separations
+// under a disabled background-return cap fall back to direct computation).
+func packPairKey(d, il, ir, jl, jr int) (uint64, bool) {
+	if d <= -(1<<14) || d >= 1<<14 {
+		return 0, false
+	}
+	if il < 1 || ir < 1 || jl < 1 || jr < 1 ||
+		il >= 1<<12 || ir >= 1<<12 || jl >= 1<<12 || jr >= 1<<12 {
+		return 0, false
+	}
+	return uint64(d+1<<14) | uint64(il)<<15 | uint64(ir)<<27 | uint64(jl)<<39 | uint64(jr)<<51, true
+}
+
+// memoHash is the splitmix64 finalizer, enough to spread the packed
+// geometry fields across the table.
+func memoHash(key uint64) uint64 {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return key
+}
+
+// Pair returns K_ij for signal tracks at positions ti and tj given each
+// wire's left/right return conductors (as produced by ShieldTableInto or
+// shieldNeighbors) — the memoized equivalent of pairCouplingAt.
+func (cp *Coupler) Pair(ti, tj int, si, sj [2]int) float64 {
+	if cp.c != nil {
+		return cp.m.pairCouplingCached(cp.c, &cp.ls, ti, tj, si, sj)
+	}
+	if cp.memo == nil {
+		return cp.m.pairCouplingAt(ti, tj, si, sj)
+	}
+	key, ok := packPairKey(tj-ti, ti-si[0], si[1]-ti, tj-sj[0], sj[1]-tj)
+	if !ok {
+		return cp.m.pairCouplingAt(ti, tj, si, sj)
+	}
+	h := memoHash(key) & (memoSlots - 1)
+	for {
+		e := &cp.memo[h]
+		if e.key == key {
+			return e.val
+		}
+		if e.key == 0 {
+			break
+		}
+		h = (h + 1) & (memoSlots - 1)
+	}
+	v := cp.m.pairCouplingAt(ti, tj, si, sj)
+	// Leave a quarter of the table empty so probe chains stay short; a
+	// full-enough memo simply stops learning new geometries.
+	if cp.memoLen < memoSlots*3/4 {
+		cp.memo[h] = memoEntry{key: key, val: v}
+		cp.memoLen++
+	}
+	return v
+}
+
+// TrackTotal returns the total coupling K of the signal track at position
+// ti: the sum of Pair over its sensitive partners within the pair cutoff,
+// taken in ascending track order with the lower position as the first
+// operand. That is exactly the accumulation order AllTotals uses for the
+// same position, so the result is bit-identical to AllTotalsCached(...)[ti]
+// — the property the incremental evaluator's windowed updates rest on.
+func (cp *Coupler) TrackTotal(tr []Track, shields [][2]int, ti int, sensitive func(a, b int) bool) float64 {
+	cutoff := cp.m.PairCutoff()
+	lo := ti - cutoff
+	if lo < 0 {
+		lo = 0
+	}
+	hi := ti + cutoff
+	if hi >= len(tr) || hi < 0 { // overflow guard for huge cutoffs
+		hi = len(tr) - 1
+	}
+	sum := 0.0
+	for q := lo; q <= hi; q++ {
+		if q == ti || tr[q].Kind != SignalTrack || !sensitive(tr[ti].Net, tr[q].Net) {
+			continue
+		}
+		if q < ti {
+			sum += cp.Pair(q, ti, shields[q], shields[ti])
+		} else {
+			sum += cp.Pair(ti, q, shields[ti], shields[q])
+		}
+	}
+	return sum
+}
+
+// AllTotalsInto computes every track position's total coupling into out
+// (len(tr), zeroed here), evaluating each pair once — the allocation-free
+// core of AllTotalsCached, for callers that maintain their own shield
+// table and output buffer.
+func (cp *Coupler) AllTotalsInto(tr []Track, shields [][2]int, sensitive func(a, b int) bool, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	cutoff := cp.m.PairCutoff()
+	for i := range tr {
+		if tr[i].Kind != SignalTrack {
+			continue
+		}
+		jMax := i + cutoff
+		if jMax >= len(tr) || jMax < 0 { // overflow guard for huge cutoffs
+			jMax = len(tr) - 1
+		}
+		for j := i + 1; j <= jMax; j++ {
+			if tr[j].Kind != SignalTrack {
+				continue
+			}
+			if !sensitive(tr[i].Net, tr[j].Net) {
+				continue
+			}
+			k := cp.Pair(i, j, shields[i], shields[j])
+			out[i] += k
+			out[j] += k
+		}
+	}
+}
+
+// ShieldTableInto fills out (grown as needed, returned) with each
+// position's nearest return conductors — the reusable-buffer form of the
+// table AllTotals precomputes.
+func (m *Model) ShieldTableInto(tr []Track, out [][2]int) [][2]int {
+	n := len(tr)
+	if cap(out) < n {
+		out = make([][2]int, n)
+	}
+	out = out[:n]
+	bg := m.backgroundReturn()
+	last := -1
+	for i := 0; i < n; i++ {
+		out[i][0] = last
+		if lo := i - bg; out[i][0] < lo {
+			out[i][0] = lo
+		}
+		if tr[i].Kind == ShieldTrack {
+			last = i
+		}
+	}
+	next := n
+	for i := n - 1; i >= 0; i-- {
+		out[i][1] = next
+		if hi := i + bg; out[i][1] > hi {
+			out[i][1] = hi
+		}
+		if tr[i].Kind == ShieldTrack {
+			next = i
+		}
+	}
+	return out
+}
+
+// AffectedRange returns the inclusive range of track positions in l whose
+// total couplings can change when one track is inserted, removed, or
+// swapped at position at — the window an incremental evaluator must
+// recompute after an edit. A total at position p is a sum of pair
+// couplings with partners at most PairCutoff away (plus one, for pairs
+// entering or leaving the cutoff as the edit shifts separations), and a
+// summed pair changes only if
+//
+//  1. it straddles the edit point (its separation shifted) — both
+//     endpoints then lie within cutoff+1 of the edit; or
+//  2. an endpoint's return path changed — a shield appearing, disappearing,
+//     or moving re-routes return currents only for wires whose
+//     shieldNeighbors search reaches the edit point, which the
+//     background-return cap bounds by bg pitches.
+//
+// The farthest affected total is therefore a position p whose partner q
+// sits bg inside the edit (case 2) with p a full cutoff beyond q:
+// |p−at| ≤ cutoff + bg + 1. Totals outside the window are bit-identical
+// before and after the edit: every pair they sum has unchanged separation
+// and unchanged returns.
+func (m *Model) AffectedRange(l Layout, at int) (lo, hi int) {
+	n := len(l.Tracks)
+	cutoff := m.PairCutoff()
+	if cutoff >= 1<<29 { // cap disabled: every pair couples, whole layout
+		return 0, n - 1
+	}
+	span := cutoff + m.backgroundReturn() + 1
+	lo, hi = at-span, at+span
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	return lo, hi
+}

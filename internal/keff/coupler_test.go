@@ -1,0 +1,163 @@
+package keff
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// randomLayout builds a layout of n tracks with the given shield density.
+func randomLayout(n int, shieldFrac float64, rng *rand.Rand) Layout {
+	l := Layout{Tracks: make([]Track, n)}
+	for i := range l.Tracks {
+		if rng.Float64() < shieldFrac {
+			l.Tracks[i] = ShieldOf()
+		} else {
+			l.Tracks[i] = SignalOf(i)
+		}
+	}
+	return l
+}
+
+func allPairsSensitive(a, b int) bool { return a != b }
+
+// TestTrackTotalMatchesAllTotals pins the bit-identity the incremental
+// evaluator rests on: a single position's TrackTotal equals the same
+// position's entry of the pair-once AllTotals pass, exactly.
+func TestTrackTotalMatchesAllTotals(t *testing.T) {
+	m := NewModel(tech.Default())
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 7, 20, 60, 130} {
+		for trial := 0; trial < 4; trial++ {
+			l := randomLayout(n, 0.25, rng)
+			want := m.AllTotals(l, allPairsSensitive)
+			cp := NewCoupler(m, nil)
+			shields := m.ShieldTableInto(l.Tracks, nil)
+			for ti := range l.Tracks {
+				if l.Tracks[ti].Kind != SignalTrack {
+					continue
+				}
+				got := cp.TrackTotal(l.Tracks, shields, ti, allPairsSensitive)
+				if got != want[ti] {
+					t.Fatalf("n=%d trial=%d pos=%d: TrackTotal %v != AllTotals %v", n, trial, ti, got, want[ti])
+				}
+			}
+		}
+	}
+}
+
+// TestCouplerMemoBitIdentical checks that the private memo returns the
+// exact bits of direct computation, including after heavy reuse.
+func TestCouplerMemoBitIdentical(t *testing.T) {
+	m := NewModel(tech.Default())
+	rng := rand.New(rand.NewSource(5))
+	memo := NewCoupler(m, nil)
+	memo.EnableMemo()
+	direct := NewCoupler(m.Clone(), nil)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(40)
+		l := randomLayout(n, 0.3, rng)
+		shields := m.ShieldTableInto(l.Tracks, nil)
+		for k := 0; k < 8; k++ {
+			ti, tj := rng.Intn(n), rng.Intn(n)
+			if ti == tj || l.Tracks[ti].Kind != SignalTrack || l.Tracks[tj].Kind != SignalTrack {
+				continue
+			}
+			got := memo.Pair(ti, tj, shields[ti], shields[tj])
+			want := direct.Pair(ti, tj, shields[ti], shields[tj])
+			if got != want {
+				t.Fatalf("memoized pair (%d,%d) = %v, direct = %v", ti, tj, got, want)
+			}
+		}
+	}
+}
+
+// TestCouplerSharedCacheBitIdentical checks the shared-cache tier the same
+// way, and that Flush accounts the batched lookups.
+func TestCouplerSharedCacheBitIdentical(t *testing.T) {
+	m := NewModel(tech.Default())
+	cache := NewPairCacheFor(m)
+	cached := NewCoupler(m, cache)
+	direct := NewCoupler(m.Clone(), nil)
+	l := randomLayout(30, 0.2, rand.New(rand.NewSource(9)))
+	shields := m.ShieldTableInto(l.Tracks, nil)
+	for pass := 0; pass < 2; pass++ {
+		for ti := range l.Tracks {
+			for tj := ti + 1; tj < len(l.Tracks); tj++ {
+				if l.Tracks[ti].Kind != SignalTrack || l.Tracks[tj].Kind != SignalTrack {
+					continue
+				}
+				if got, want := cached.Pair(ti, tj, shields[ti], shields[tj]), direct.Pair(ti, tj, shields[ti], shields[tj]); got != want {
+					t.Fatalf("cached pair (%d,%d) = %v, direct = %v", ti, tj, got, want)
+				}
+			}
+		}
+	}
+	cached.Flush()
+	if h, miss := cache.Stats(); h == 0 || miss == 0 {
+		t.Errorf("expected both hits and misses after two passes, got %d/%d", h, miss)
+	}
+}
+
+// TestShieldTableIntoMatchesNeighbors checks the sweep table against the
+// per-position scan for random layouts.
+func TestShieldTableIntoMatchesNeighbors(t *testing.T) {
+	m := NewModel(tech.Default())
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		l := randomLayout(1+rng.Intn(50), 0.3, rng)
+		table := m.ShieldTableInto(l.Tracks, nil)
+		for i := range l.Tracks {
+			wl, wr := m.shieldNeighbors(l.Tracks, i)
+			if table[i][0] != wl || table[i][1] != wr {
+				t.Fatalf("trial %d pos %d: table (%d,%d) != neighbors (%d,%d)",
+					trial, i, table[i][0], table[i][1], wl, wr)
+			}
+		}
+	}
+}
+
+// TestAffectedRangeIsSound verifies the window claim: totals outside
+// AffectedRange are bit-identical across a single-track insertion or
+// removal at the edit point.
+func TestAffectedRangeIsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, bg := range []int{2, 4, 12} {
+		m := NewModel(tech.Default())
+		m.BackgroundReturn = bg
+		for trial := 0; trial < 40; trial++ {
+			n := 1 + rng.Intn(120)
+			l := randomLayout(n, 0.25, rng)
+			before := m.AllTotals(l, allPairsSensitive)
+
+			at := rng.Intn(n + 1)
+			edited := Layout{Tracks: make([]Track, 0, n+1)}
+			edited.Tracks = append(edited.Tracks, l.Tracks[:at]...)
+			var ins Track
+			if rng.Intn(2) == 0 {
+				ins = ShieldOf()
+			} else {
+				ins = SignalOf(1000 + trial)
+			}
+			edited.Tracks = append(edited.Tracks, ins)
+			edited.Tracks = append(edited.Tracks, l.Tracks[at:]...)
+			after := m.AllTotals(edited, allPairsSensitive)
+
+			lo, hi := m.AffectedRange(edited, at)
+			for p := range edited.Tracks {
+				if p >= lo && p <= hi {
+					continue
+				}
+				old := p
+				if p > at {
+					old = p - 1
+				}
+				if after[p] != before[old] {
+					t.Fatalf("bg=%d trial=%d: position %d outside window [%d,%d] changed: %v -> %v",
+						bg, trial, p, lo, hi, before[old], after[p])
+				}
+			}
+		}
+	}
+}

@@ -272,30 +272,7 @@ func (m *Model) AllTotals(l Layout, sensitive func(a, b int) bool) []float64 {
 // shieldTable precomputes each position's nearest return conductors in one
 // sweep per direction, applying the background-return cap.
 func (m *Model) shieldTable(tr []Track) [][2]int {
-	n := len(tr)
-	bg := m.backgroundReturn()
-	out := make([][2]int, n)
-	last := -1
-	for i := 0; i < n; i++ {
-		out[i][0] = last
-		if lo := i - bg; out[i][0] < lo {
-			out[i][0] = lo
-		}
-		if tr[i].Kind == ShieldTrack {
-			last = i
-		}
-	}
-	next := n
-	for i := n - 1; i >= 0; i-- {
-		out[i][1] = next
-		if hi := i + bg; out[i][1] > hi {
-			out[i][1] = hi
-		}
-		if tr[i].Kind == ShieldTrack {
-			next = i
-		}
-	}
-	return out
+	return m.ShieldTableInto(tr, nil)
 }
 
 // LSKTerm is one region's contribution to a net's LSK value.

@@ -16,10 +16,18 @@ type AnnealOptions struct {
 // Anneal refines a SINO solution by simulated annealing over the joint
 // ordering/shielding space: swap tracks, relocate tracks, insert or remove
 // shields. It starts from the greedy solution and never returns anything
-// worse. Full O(n²) cost evaluation per move limits it to small instances
-// (coefficient fitting, optimality cross-checks); production routing uses
-// Solve.
+// worse. Moves apply to the incremental evaluator and roll back when
+// rejected, so a move costs a windowed coupling update plus an O(n) cost
+// scan rather than the full O(n²) verification it previously ran; the
+// trajectory (move sequence, acceptance decisions, result) is unchanged.
+// Production routing uses Solve; annealing serves coefficient fitting and
+// optimality cross-checks on small instances.
 func Anneal(in *Instance, opts AnnealOptions) (*Solution, *Check) {
+	return AnnealWith(NewEval(), in, opts)
+}
+
+// AnnealWith is Anneal on a caller-supplied evaluator (see SolveWith).
+func AnnealWith(e *Eval, in *Instance, opts AnnealOptions) (*Solution, *Check) {
 	if err := in.Validate(); err != nil {
 		panic(err.Error())
 	}
@@ -35,27 +43,29 @@ func Anneal(in *Instance, opts AnnealOptions) (*Solution, *Check) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
-	best, _ := Solve(in)
+	best, bestChk := SolveWith(e, in)
 	if n == 0 {
-		return best, in.Verify(best)
+		return best, bestChk
 	}
-	cur := best.Clone()
-	bestCost := in.annealCost(best)
+	// The evaluator holds the greedy solution; it now tracks the walk's
+	// current state.
+	bestCost := e.annealCost()
 	curCost := bestCost
 
 	temp := opts.T0
 	epoch := max(opts.Iterations/30, 1)
 	for it := 0; it < opts.Iterations; it++ {
-		trial := in.mutate(cur, rng)
-		if trial == nil {
+		if !e.mutate(rng) {
 			continue
 		}
-		cost := in.annealCost(trial)
+		cost := e.annealCost()
 		if cost <= curCost || rng.Float64() < math.Exp((curCost-cost)/temp) {
-			cur, curCost = trial, cost
+			curCost = cost
 			if cost < bestCost {
-				best, bestCost = trial.Clone(), cost
+				best, bestCost = e.Solution(), cost
 			}
+		} else {
+			e.rollback()
 		}
 		if (it+1)%epoch == 0 {
 			temp *= opts.Cooling
@@ -64,60 +74,70 @@ func Anneal(in *Instance, opts AnnealOptions) (*Solution, *Check) {
 	return best, in.Verify(best)
 }
 
-// annealCost scores a solution: area plus heavy penalties for constraint
-// violations, so feasible small solutions always win.
-func (in *Instance) annealCost(s *Solution) float64 {
-	chk := in.Verify(s)
-	cost := float64(s.NumTracks())
-	cost += 50 * float64(len(chk.CapPairs))
-	for _, seg := range chk.Over {
-		cost += 50 * (chk.K[seg] - in.Segs[seg].Kth) / in.Segs[seg].Kth
+// annealCost scores the evaluator's current solution: area plus heavy
+// penalties for constraint violations, so feasible small solutions always
+// win. Terms accumulate exactly as the Verify-based scorer did (cap-pair
+// penalty first, then over-bound segments in ascending order), keeping
+// costs bit-identical.
+func (e *Eval) annealCost() float64 {
+	cost := float64(len(e.tracks))
+	cost += 50 * float64(e.capPairs)
+	for i := range e.in.Segs {
+		kth := e.in.Segs[i].Kth
+		if e.k[i] > kth {
+			cost += 50 * (e.k[i] - kth) / kth
+		}
 	}
 	return cost
 }
 
-// mutate returns a modified copy of s, or nil when the chosen move does not
-// apply.
-func (in *Instance) mutate(s *Solution, rng *rand.Rand) *Solution {
-	t := s.Clone()
-	n := len(t.Tracks)
+// mutate applies one random move to the evaluator, or reports false when
+// the chosen move does not apply (leaving the state untouched). Callers
+// judge the move and roll back rejected ones; the random draws exactly
+// mirror the historical copy-based mutator, preserving annealing
+// trajectories.
+func (e *Eval) mutate(rng *rand.Rand) bool {
+	n := len(e.tracks)
 	switch rng.Intn(4) {
 	case 0: // swap two tracks
 		if n < 2 {
-			return nil
+			return false
 		}
 		a, b := rng.Intn(n), rng.Intn(n)
-		t.Tracks[a], t.Tracks[b] = t.Tracks[b], t.Tracks[a]
+		e.mark()
+		e.swapAny(a, b)
 	case 1: // relocate a track
 		if n < 2 {
-			return nil
+			return false
 		}
 		from := rng.Intn(n)
-		v := t.Tracks[from]
-		t.Tracks = append(t.Tracks[:from], t.Tracks[from+1:]...)
-		to := rng.Intn(len(t.Tracks) + 1)
-		t.Tracks = append(t.Tracks, 0)
-		copy(t.Tracks[to+1:], t.Tracks[to:])
-		t.Tracks[to] = v
+		e.mark()
+		v := e.removeAt(from)
+		to := rng.Intn(len(e.tracks) + 1)
+		e.insertAt(to, v)
 	case 2: // insert a shield
 		at := rng.Intn(n + 1)
-		t.Tracks = append(t.Tracks, 0)
-		copy(t.Tracks[at+1:], t.Tracks[at:])
-		t.Tracks[at] = Shield
+		e.mark()
+		e.InsertShield(at)
 	case 3: // remove a random shield
-		var shields []int
-		for i, v := range t.Tracks {
+		if e.nShields == 0 {
+			return false
+		}
+		pick := rng.Intn(e.nShields)
+		at := -1
+		for t, v := range e.tracks {
 			if v == Shield {
-				shields = append(shields, i)
+				if pick == 0 {
+					at = t
+					break
+				}
+				pick--
 			}
 		}
-		if len(shields) == 0 {
-			return nil
-		}
-		at := shields[rng.Intn(len(shields))]
-		t.Tracks = append(t.Tracks[:at], t.Tracks[at+1:]...)
+		e.mark()
+		e.removeAt(at)
 	}
-	return t
+	return true
 }
 
 func max(a, b int) int {

@@ -97,6 +97,9 @@ func GenerateFitSamples(cfg FitConfig) []FitSample {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	model := keff.NewModel(t)
+	// One evaluator solves every realization: all instances share the model,
+	// so its buffers and coupling memo stay warm across the whole sweep.
+	ev := NewEval()
 
 	var out []FitSample
 	for n := 2; n <= cfg.MaxSegs; n += 2 {
@@ -119,9 +122,9 @@ func GenerateFitSamples(cfg FitConfig) []FitSample {
 				var sol *Solution
 				var chk *Check
 				if cfg.UseAnneal {
-					sol, chk = Anneal(in, AnnealOptions{Seed: rng.Int63()})
+					sol, chk = AnnealWith(ev, in, AnnealOptions{Seed: rng.Int63()})
 				} else {
-					sol, chk = Solve(in)
+					sol, chk = SolveWith(ev, in)
 				}
 				if !chk.Feasible() {
 					continue // bound tighter than dense shielding can reach
@@ -144,22 +147,22 @@ func GenerateFitSamples(cfg FitConfig) []FitSample {
 }
 
 // randomSensitivity draws a symmetric pairwise relation where nets i and j
-// conflict with probability (Si+Sj)/2, stored explicitly.
+// conflict with probability (Si+Sj)/2, stored in a dense triangular bitset
+// (this relation sits in the fit-sample hot loop, where a map lookup per
+// consultation dominated). The draw order — row-major over i < j — is
+// load-bearing: it fixes the rng stream, so fitted coefficients are
+// unchanged from the map-backed implementation.
 func randomSensitivity(n int, rates []float64, rng *rand.Rand) func(a, b int) bool {
-	m := make(map[[2]int]bool)
+	var bs triBits
+	bs.reset(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if rng.Float64() < (rates[i]+rates[j])/2 {
-				m[[2]int{i, j}] = true
+				bs.set(i, j)
 			}
 		}
 	}
-	return func(a, b int) bool {
-		if a > b {
-			a, b = b, a
-		}
-		return m[[2]int{a, b}]
-	}
+	return bs.get
 }
 
 // FitCoeffs least-squares fits Formula (3) to the samples by solving the

@@ -1,0 +1,513 @@
+package sino
+
+import (
+	"fmt"
+
+	"repro/internal/keff"
+)
+
+// This file implements the incremental SINO evaluator: a stateful view of
+// one solution under one instance that keeps every quantity the solver's
+// inner loops consult — per-segment coupling totals, the adjacent-
+// sensitive-pair count, shield count, a segment→track position index —
+// up to date under single-track edits.
+//
+// The point is asymptotic: keff pair couplings are summed only within
+// Model.PairCutoff, and an edit at track t perturbs totals only inside
+// Model.AffectedRange around t (see its window argument), so InsertShield,
+// RemoveShield, and SwapAdjacent cost O(window·cutoff) cached pair
+// lookups instead of the O(n²) from-scratch Verify the solver previously
+// ran per probe. Bit-identity is the contract that makes the rewiring
+// safe: after every operation, K(i) equals the i-th entry of a fresh
+// Instance.TotalK of the current solution exactly (same pair values, same
+// accumulation order — Coupler.TrackTotal documents why), so every
+// comparison the greedy solver, polish pass, and annealer make is
+// unchanged, and so are their outputs. Instance.Verify stays as the
+// independent brute-force oracle; TestEvalMatchesVerifyOnEditScripts
+// replays random edit scripts against it.
+
+// Eval is an incremental evaluator of SINO solutions. Typical use binds an
+// instance, loads a solution, and applies single-track edits:
+//
+//	e := sino.NewEval()
+//	e.Bind(in)
+//	e.Load(sol)
+//	e.InsertShield(3)
+//	if !e.Feasible() { e.RemoveShield(3) }
+//
+// An Eval is reusable across instances (Bind resets it) and is designed to
+// be pooled one per solver worker: its buffers, and a private coupling
+// memo for cache-less instances, persist across solves. It is not safe
+// for concurrent use. The bound instance's Model must not be reconfigured
+// while the evaluator holds it.
+type Eval struct {
+	in     *Instance
+	cp     *keff.Coupler
+	sens   triBits             // pairwise sensitivity, by segment index
+	sensFn func(a, b int) bool // closure over sens, in keff layout terms
+
+	tracks  []int       // current track assignment: segment index or Shield
+	layout  keff.Layout // mirror of tracks in keff terms (Net = segment index)
+	shields [][2]int    // per-position nearest return conductors
+	pos     []int       // segment index -> track position
+	k       []float64   // per-segment coupling totals, bit-equal to TotalK
+	kt      []float64   // scratch: per-track totals for full recomputes
+
+	capPairs int // adjacent sensitive pairs (capacitive violations)
+	nShields int
+	nOver    int // segments with k > Kth
+
+	// One-level undo: mark copies the authoritative state (tracks, totals,
+	// counters); rollback restores it and rebuilds the derived arrays.
+	mTracks               []int
+	mK                    []float64
+	mCap, mShields, mOver int
+}
+
+// NewEval returns an empty evaluator; Bind attaches it to an instance.
+func NewEval() *Eval { return &Eval{} }
+
+// memoMinSegs is the instance size from which even a one-shot solve
+// amortizes zeroing the private coupling memo (128 KiB); smaller one-shot
+// instances skip it, evaluator reuse enables it regardless.
+const memoMinSegs = 16
+
+// Bind attaches the evaluator to an instance: it snapshots the pairwise
+// sensitivity relation into a bitset (the relation is consulted thousands
+// of times per solve on the same pairs) and keeps the coupling front end
+// warm — the keff.Coupler, and with it the private pair-coupling memo,
+// carries over whenever the instance shares the previous one's Model and
+// Cache, which is exactly the engine's per-worker situation.
+func (e *Eval) Bind(in *Instance) {
+	n := len(in.Segs)
+	e.in = in
+	if e.cp == nil || e.cp.Model() != in.Model || e.cp.SharedCache() != in.Cache {
+		e.cp = keff.NewCoupler(in.Model, in.Cache)
+		if in.Cache == nil && n >= memoMinSegs {
+			e.cp.EnableMemo()
+		}
+	} else if in.Cache == nil {
+		// The evaluator is being reused against the same model with no
+		// shared cache — the pooled situation where the private memo
+		// always pays for itself, whatever the instance size.
+		e.cp.EnableMemo()
+	}
+	e.sens.reset(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if in.Sensitive(in.Segs[i].Net, in.Segs[j].Net) {
+				e.sens.set(i, j)
+			}
+		}
+	}
+	if e.sensFn == nil {
+		e.sensFn = func(a, b int) bool { return e.sens.get(a, b) }
+	}
+	e.tracks = e.tracks[:0]
+	e.layout.Tracks = e.layout.Tracks[:0]
+	e.capPairs, e.nShields, e.nOver = 0, 0, 0
+}
+
+// Load resets the evaluator to solution s, rebuilding every maintained
+// quantity from scratch. It reports structural problems (missing,
+// duplicated, or unknown segments); on error the evaluator must be
+// Loaded again before use.
+func (e *Eval) Load(s *Solution) error {
+	n := len(e.in.Segs)
+	e.tracks = append(e.tracks[:0], s.Tracks...)
+	e.pos = growInts(e.pos, n)
+	for i := range e.pos {
+		e.pos[i] = -1
+	}
+	lt := e.layout.Tracks[:0]
+	e.nShields = 0
+	for t, v := range e.tracks {
+		if v == Shield {
+			e.nShields++
+			lt = append(lt, keff.ShieldOf())
+			continue
+		}
+		if v < 0 || v >= n {
+			return fmt.Errorf("sino: track holds unknown segment %d", v)
+		}
+		if e.pos[v] >= 0 {
+			return fmt.Errorf("sino: segment %d appears twice", v)
+		}
+		e.pos[v] = t
+		lt = append(lt, keff.SignalOf(v))
+	}
+	e.layout.Tracks = lt
+	for i, p := range e.pos {
+		if p < 0 {
+			return fmt.Errorf("sino: segment %d missing from solution", i)
+		}
+	}
+	e.shields = e.in.Model.ShieldTableInto(lt, e.shields)
+	e.capPairs = e.capCount()
+
+	e.kt = growFloats(e.kt, len(lt))
+	e.cp.AllTotalsInto(lt, e.shields, e.sensFn, e.kt)
+	e.cp.Flush()
+	e.k = growFloats(e.k, n)
+	e.nOver = 0
+	for t, v := range e.tracks {
+		if v != Shield {
+			e.k[v] = e.kt[t]
+			if e.kt[t] > e.in.Segs[v].Kth {
+				e.nOver++
+			}
+		}
+	}
+	return nil
+}
+
+// InsertShield inserts a shield track at position at ∈ [0, NumTracks()].
+func (e *Eval) InsertShield(at int) { e.insertAt(at, Shield) }
+
+// RemoveShield removes the shield track at position at.
+func (e *Eval) RemoveShield(at int) {
+	if e.tracks[at] != Shield {
+		panic("sino: RemoveShield at a signal track")
+	}
+	e.removeAt(at)
+}
+
+// SwapAdjacent exchanges the tracks at positions t and t+1. The adjacent-
+// sensitive-pair count updates in O(1): only the three adjacencies
+// touching the pair can change, and the swapped pair's own adjacency is
+// invariant.
+func (e *Eval) SwapAdjacent(t int) {
+	e.capPairs += capSwapDelta(e.tracks, t, e.sens.get)
+	e.exchange(t, t+1)
+	lo, _ := e.in.Model.AffectedRange(e.layout, t)
+	_, hi := e.in.Model.AffectedRange(e.layout, t+1)
+	e.recompute(lo, hi)
+}
+
+// K returns segment i's total inductive coupling under the current
+// solution — bit-identical to Instance.TotalK of the same solution.
+func (e *Eval) K(i int) float64 { return e.k[i] }
+
+// CapPairs returns the number of adjacent sensitive pairs.
+func (e *Eval) CapPairs() int { return e.capPairs }
+
+// NumTracks returns the current track count.
+func (e *Eval) NumTracks() int { return len(e.tracks) }
+
+// NumShields returns the current shield count.
+func (e *Eval) NumShields() int { return e.nShields }
+
+// Feasible reports whether the current solution satisfies all SINO
+// constraints, equal to Instance.Verify(...).Feasible() on it.
+func (e *Eval) Feasible() bool { return e.capPairs == 0 && e.nOver == 0 }
+
+// Solution returns a copy of the current solution.
+func (e *Eval) Solution() *Solution {
+	return &Solution{Tracks: append([]int(nil), e.tracks...)}
+}
+
+// Check builds the verification report of the current solution, equal
+// field by field to Instance.Verify on it — including the exact K bits —
+// without the from-scratch pair summation.
+func (e *Eval) Check() *Check {
+	c := &Check{WorstSeg: -1}
+	prev := -1
+	for t, v := range e.tracks {
+		if v == Shield {
+			prev = -1
+			continue
+		}
+		if prev >= 0 && e.sens.get(e.tracks[prev], v) {
+			c.CapPairs = append(c.CapPairs, [2]int{prev, t})
+		}
+		prev = t
+	}
+	c.K = append([]float64(nil), e.k...)
+	for i, k := range c.K {
+		kth := e.in.Segs[i].Kth
+		if k > kth {
+			c.Over = append(c.Over, i)
+			if over := (k - kth) / kth; over > c.WorstOver {
+				c.WorstOver = over
+				c.WorstSeg = i
+			}
+		}
+	}
+	return c
+}
+
+// store writes the current track assignment back into s.
+func (e *Eval) store(s *Solution) { s.Tracks = append(s.Tracks[:0], e.tracks...) }
+
+// mark snapshots the authoritative state for a one-level rollback.
+func (e *Eval) mark() {
+	e.mTracks = append(e.mTracks[:0], e.tracks...)
+	e.mK = append(e.mK[:0], e.k...)
+	e.mCap, e.mShields, e.mOver = e.capPairs, e.nShields, e.nOver
+}
+
+// rollback restores the last mark. Totals and counters restore by copy —
+// no couplings are re-evaluated — and the derived arrays (layout,
+// position index, shield table) rebuild in O(n) integer work.
+func (e *Eval) rollback() {
+	e.tracks = append(e.tracks[:0], e.mTracks...)
+	e.k = append(e.k[:0], e.mK...)
+	e.capPairs, e.nShields, e.nOver = e.mCap, e.mShields, e.mOver
+	lt := e.layout.Tracks[:0]
+	for t, v := range e.tracks {
+		if v == Shield {
+			lt = append(lt, keff.ShieldOf())
+		} else {
+			lt = append(lt, keff.SignalOf(v))
+			e.pos[v] = t
+		}
+	}
+	e.layout.Tracks = lt
+	e.shields = e.in.Model.ShieldTableInto(lt, e.shields)
+}
+
+// insertAt inserts track value v (segment index or Shield) at position at.
+func (e *Eval) insertAt(at, v int) {
+	e.tracks = append(e.tracks, 0)
+	copy(e.tracks[at+1:], e.tracks[at:])
+	e.tracks[at] = v
+	lt := append(e.layout.Tracks, keff.Track{})
+	copy(lt[at+1:], lt[at:])
+	if v == Shield {
+		lt[at] = keff.ShieldOf()
+		e.nShields++
+	} else {
+		lt[at] = keff.SignalOf(v)
+		e.pos[v] = at
+	}
+	e.layout.Tracks = lt
+	for t := at + 1; t < len(e.tracks); t++ {
+		if s := e.tracks[t]; s != Shield {
+			e.pos[s] = t
+		}
+	}
+	e.refreshAround(at, at)
+}
+
+// removeAt removes the track at position at and returns its value.
+func (e *Eval) removeAt(at int) int {
+	v := e.tracks[at]
+	copy(e.tracks[at:], e.tracks[at+1:])
+	e.tracks = e.tracks[:len(e.tracks)-1]
+	lt := e.layout.Tracks
+	copy(lt[at:], lt[at+1:])
+	e.layout.Tracks = lt[:len(lt)-1]
+	if v == Shield {
+		e.nShields--
+	} else {
+		e.pos[v] = -1
+	}
+	for t := at; t < len(e.tracks); t++ {
+		if s := e.tracks[t]; s != Shield {
+			e.pos[s] = t
+		}
+	}
+	e.refreshAround(at, at)
+	return v
+}
+
+// swapAny exchanges the tracks at two arbitrary positions.
+func (e *Eval) swapAny(a, b int) {
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	e.exchange(a, b)
+	e.capPairs = e.capCount()
+	lo, _ := e.in.Model.AffectedRange(e.layout, a)
+	_, hi := e.in.Model.AffectedRange(e.layout, b)
+	e.recompute(lo, hi)
+}
+
+// exchange swaps two track slots and refreshes the derived arrays, leaving
+// the capacitive count to the caller (SwapAdjacent has an O(1) delta,
+// swapAny recounts).
+func (e *Eval) exchange(a, b int) {
+	e.tracks[a], e.tracks[b] = e.tracks[b], e.tracks[a]
+	lt := e.layout.Tracks
+	lt[a], lt[b] = lt[b], lt[a]
+	if v := e.tracks[a]; v != Shield {
+		e.pos[v] = a
+	}
+	if v := e.tracks[b]; v != Shield {
+		e.pos[v] = b
+	}
+	e.shields = e.in.Model.ShieldTableInto(lt, e.shields)
+}
+
+// refreshAround rebuilds the derived state after an insert/remove edit
+// spanning positions [atLo, atHi] and recomputes the affected window.
+func (e *Eval) refreshAround(atLo, atHi int) {
+	e.shields = e.in.Model.ShieldTableInto(e.layout.Tracks, e.shields)
+	e.capPairs = e.capCount()
+	lo, _ := e.in.Model.AffectedRange(e.layout, atLo)
+	_, hi := e.in.Model.AffectedRange(e.layout, atHi)
+	e.recompute(lo, hi)
+}
+
+// recompute refreshes the totals of every signal track in [lo, hi].
+// Positions whose geometry did not change recompute to the exact same
+// bits, so over-covering is harmless; when the window spans most of the
+// layout the pair-once full pass is cheaper than per-track sums (which
+// visit each in-window pair from both endpoints) and is used instead.
+func (e *Eval) recompute(lo, hi int) {
+	nt := len(e.tracks)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > nt-1 {
+		hi = nt - 1
+	}
+	if 2*(hi-lo+1) >= nt {
+		e.kt = growFloats(e.kt, nt)
+		e.cp.AllTotalsInto(e.layout.Tracks, e.shields, e.sensFn, e.kt)
+		for t, v := range e.tracks {
+			if v != Shield {
+				e.setK(v, e.kt[t])
+			}
+		}
+	} else {
+		for p := lo; p <= hi; p++ {
+			v := e.tracks[p]
+			if v == Shield {
+				continue
+			}
+			e.setK(v, e.cp.TrackTotal(e.layout.Tracks, e.shields, p, e.sensFn))
+		}
+	}
+	e.cp.Flush()
+}
+
+// setK updates one segment's total and the over-bound counter.
+func (e *Eval) setK(seg int, nk float64) {
+	kth := e.in.Segs[seg].Kth
+	wasOver, isOver := e.k[seg] > kth, nk > kth
+	if wasOver != isOver {
+		if isOver {
+			e.nOver++
+		} else {
+			e.nOver--
+		}
+	}
+	e.k[seg] = nk
+}
+
+// capCount recounts adjacent sensitive pairs through the bitset.
+func (e *Eval) capCount() int {
+	n := 0
+	prev := Shield
+	for _, v := range e.tracks {
+		if v == Shield {
+			prev = Shield
+			continue
+		}
+		if prev != Shield && e.sens.get(prev, v) {
+			n++
+		}
+		prev = v
+	}
+	return n
+}
+
+// capSwapDelta returns the change in the adjacent-sensitive-pair count
+// caused by swapping tracks t and t+1, evaluated on the pre-swap array.
+// Only the adjacencies (t−1,t) and (t+1,t+2) can change: the swapped
+// pair's own adjacency is symmetric in its operands. Region walls act as
+// shields, matching capPairCount.
+func capSwapDelta(tracks []int, t int, sens func(a, b int) bool) int {
+	a, b := tracks[t], tracks[t+1]
+	p, q := Shield, Shield
+	if t > 0 {
+		p = tracks[t-1]
+	}
+	if t+2 < len(tracks) {
+		q = tracks[t+2]
+	}
+	pair := func(x, y int) int {
+		if x != Shield && y != Shield && sens(x, y) {
+			return 1
+		}
+		return 0
+	}
+	return pair(p, b) + pair(a, q) - pair(p, a) - pair(b, q)
+}
+
+// sidePull sums the segment at track position pos's couplings to sensitive
+// segments on each side — the insertion-side heuristic of repairK. Values
+// and accumulation order match the historical implementation (operand
+// order (pos, t), ascending t), so side choices are unchanged; the shield
+// table replaces its per-pair layout rebuild and neighbor scans.
+func (e *Eval) sidePull(pos int) (left, right float64) {
+	seg := e.tracks[pos]
+	for t, other := range e.tracks {
+		if t == pos || other == Shield || !e.sens.get(seg, other) {
+			continue
+		}
+		k := e.cp.Pair(pos, t, e.shields[pos], e.shields[t])
+		if t < pos {
+			left += k
+		} else {
+			right += k
+		}
+	}
+	e.cp.Flush()
+	return left, right
+}
+
+// triBits is a dense bitset over unordered pairs drawn from {0..n-1}. It
+// stores both orientations of each pair (a row bitmap per element), so a
+// lookup is one shift-and-mask with no normalization branches and no
+// triangular index arithmetic — it sits in every solver inner loop. The
+// diagonal is never set, so get(a, a) is false by construction.
+type triBits struct {
+	stride int // words per row
+	bits   []uint64
+}
+
+// reset sizes the bitset for n elements and clears it, reusing storage.
+func (t *triBits) reset(n int) {
+	t.stride = (n + 63) / 64
+	words := n * t.stride
+	if cap(t.bits) < words {
+		t.bits = make([]uint64, words)
+		return
+	}
+	t.bits = t.bits[:words]
+	for i := range t.bits {
+		t.bits[i] = 0
+	}
+}
+
+// set marks the pair (i, j), i < j, in both orientations.
+func (t *triBits) set(i, j int) {
+	t.bits[i*t.stride+j>>6] |= 1 << (j & 63)
+	t.bits[j*t.stride+i>>6] |= 1 << (i & 63)
+}
+
+// get reports whether the unordered pair {a, b} is marked; false for a == b.
+func (t *triBits) get(a, b int) bool {
+	return t.bits[a*t.stride+b>>6]&(1<<(b&63)) != 0
+}
+
+// growInts returns s resized to n, reallocating only when needed.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growFloats returns s resized to n, reallocating only when needed.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -11,13 +11,25 @@ import (
 // Check.Feasible — an instance whose bounds are tighter than dense shielding
 // can achieve yields the best solution found with its violations reported.
 func Solve(in *Instance) (*Solution, *Check) {
+	return SolveWith(NewEval(), in)
+}
+
+// SolveWith is Solve running on a caller-supplied evaluator, whose buffers
+// and coupling memo it reuses — the form solver pools use (the engine keeps
+// one evaluator per worker). The evaluator is left bound to in.
+func SolveWith(e *Eval, in *Instance) (*Solution, *Check) {
 	if err := in.Validate(); err != nil {
 		panic(err.Error())
 	}
-	s := in.construct(true)
-	in.repairK(s)
-	in.polish(s)
-	return s, in.Verify(s)
+	e.Bind(in)
+	s := in.construct(true, e.sens.get)
+	if err := e.Load(s); err != nil {
+		panic(err.Error()) // unreachable: construct places every segment once
+	}
+	e.repairK()
+	e.polish()
+	e.store(s)
+	return s, e.Check()
 }
 
 // NetOrderOnly runs the NO baseline: pure net ordering, no shields, greedily
@@ -28,7 +40,7 @@ func NetOrderOnly(in *Instance) (*Solution, *Check) {
 	if err := in.Validate(); err != nil {
 		panic(err.Error())
 	}
-	s := in.construct(false)
+	s := in.construct(false, in.sensitiveSegs)
 	in.improveOrdering(s)
 	return s, in.Verify(s)
 }
@@ -37,10 +49,12 @@ func NetOrderOnly(in *Instance) (*Solution, *Check) {
 // conflict-degree order; at each step the highest-degree segment not
 // sensitive to the last placed one is appended. When every remaining
 // segment conflicts, a shield is appended (withShields) or the
-// least-conflicting segment is accepted (ordering-only).
-func (in *Instance) construct(withShields bool) *Solution {
+// least-conflicting segment is accepted (ordering-only). sens is the
+// pairwise sensitivity by segment index (the evaluator's bitset when one
+// is bound, in.sensitiveSegs otherwise).
+func (in *Instance) construct(withShields bool, sens func(a, b int) bool) *Solution {
 	n := len(in.Segs)
-	deg := in.conflictDegree()
+	deg := in.conflictDegree(sens)
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -64,7 +78,7 @@ func (in *Instance) construct(withShields bool) *Solution {
 			if placed[cand] {
 				continue
 			}
-			if last == Shield || !in.sensitiveSegs(last, cand) {
+			if last == Shield || !sens(last, cand) {
 				pick = cand
 				break
 			}
@@ -96,26 +110,29 @@ func (in *Instance) construct(withShields bool) *Solution {
 
 // repairK inserts shields until every segment meets its inductive bound or
 // no further progress is possible. Each round targets the worst violator
-// and shields its heavier-coupled side. When a bound is tighter than dense
-// shielding can reach, the worst violator's coupling stagnates; the loop
-// detects that and stops instead of burning the shield budget.
-func (in *Instance) repairK(s *Solution) {
+// and shields its heavier-coupled side; the evaluator keeps the coupling
+// totals current, so a round costs one windowed update instead of a
+// from-scratch recount. When a bound is tighter than dense shielding can
+// reach, the worst violator's coupling stagnates; the loop detects that —
+// or the violator already boxed in by shields — and stops instead of
+// burning the shield budget.
+func (e *Eval) repairK() {
+	in := e.in
 	maxShields := 2*len(in.Segs) + 2
 	stagnant := 0
 	lastWorst := -1
 	lastK := 0.0
 	for iter := 0; ; iter++ {
-		k := in.TotalK(s)
 		worst, worstOver := -1, 0.0
-		for i, seg := range in.Segs {
-			if over := (k[i] - seg.Kth) / seg.Kth; over > worstOver {
+		for i := range in.Segs {
+			if over := (e.k[i] - in.Segs[i].Kth) / in.Segs[i].Kth; over > worstOver {
 				worst, worstOver = i, over
 			}
 		}
-		if worst < 0 || s.NumShields() >= maxShields || iter > 4*len(in.Segs) {
+		if worst < 0 || e.nShields >= maxShields || iter > 4*len(in.Segs) {
 			return
 		}
-		if worst == lastWorst && k[worst] > lastK*0.99 {
+		if worst == lastWorst && e.k[worst] > lastK*0.99 {
 			stagnant++
 			if stagnant >= 3 {
 				return // insertions no longer help this segment
@@ -123,31 +140,29 @@ func (in *Instance) repairK(s *Solution) {
 		} else {
 			stagnant = 0
 		}
-		lastWorst, lastK = worst, k[worst]
+		lastWorst, lastK = worst, e.k[worst]
 
-		// Track position of the worst violator.
-		pos := -1
-		for t, seg := range s.Tracks {
-			if seg == worst {
-				pos = t
-				break
-			}
-		}
-		left, right := in.sidePull(s, pos)
+		pos := e.pos[worst]
+		left, right := e.sidePull(pos)
 		at := pos // insert left of pos
 		if right > left {
 			at = pos + 1
 		}
-		// Skip useless insertion directly beside an existing shield.
-		if at > 0 && s.Tracks[at-1] == Shield {
+		// A shield directly beside the violator adds nothing on that side:
+		// flip a useless insertion to the other side, and stop when both
+		// neighbors are already shields — no insertion can lower this
+		// segment's coupling further.
+		leftShielded := pos > 0 && e.tracks[pos-1] == Shield
+		rightShielded := pos+1 < len(e.tracks) && e.tracks[pos+1] == Shield
+		if leftShielded && rightShielded {
+			return // boxed in by shields already
+		}
+		if at == pos && leftShielded {
+			at = pos + 1
+		} else if at == pos+1 && rightShielded {
 			at = pos
 		}
-		if at > 0 && s.Tracks[at-1] == Shield && at < len(s.Tracks) && s.Tracks[at] == Shield {
-			return // boxed in by shields already; no insertion can help
-		}
-		s.Tracks = append(s.Tracks, 0)
-		copy(s.Tracks[at+1:], s.Tracks[at:])
-		s.Tracks[at] = Shield
+		e.InsertShield(at)
 	}
 }
 
@@ -156,49 +171,46 @@ func (in *Instance) repairK(s *Solution) {
 // used by Phase III refinement, where bounds change a little at a time and
 // the existing ordering is worth keeping.
 func Repair(in *Instance, s *Solution) *Check {
+	return RepairWith(NewEval(), in, s)
+}
+
+// RepairWith is Repair on a caller-supplied evaluator (see SolveWith). A
+// structurally invalid solution is returned unrepaired with its Verify
+// report — there is no meaningful repair for a broken track assignment.
+func RepairWith(e *Eval, in *Instance, s *Solution) *Check {
 	if err := in.Validate(); err != nil {
 		panic(err.Error())
 	}
-	in.repairK(s)
-	return in.Verify(s)
-}
-
-// sidePull sums the violating segment's couplings to sensitive segments on
-// each side of track position pos.
-func (in *Instance) sidePull(s *Solution, pos int) (left, right float64) {
-	l := in.Layout(s)
-	seg := s.Tracks[pos]
-	for t, other := range s.Tracks {
-		if t == pos || other == Shield || !in.sensitiveSegs(seg, other) {
-			continue
-		}
-		k := in.Model.PairCouplingCached(in.Cache, l, pos, t)
-		if t < pos {
-			left += k
-		} else {
-			right += k
-		}
+	e.Bind(in)
+	if err := e.Load(s); err != nil {
+		return in.Verify(s)
 	}
-	return left, right
+	e.repairK()
+	e.store(s)
+	return e.Check()
 }
 
-// polish removes shields that are no longer needed. Verification is O(n²),
-// so passes are bounded: the first pass catches almost every removable
-// shield in practice.
-func (in *Instance) polish(s *Solution) {
-	if !in.Verify(s).Feasible() {
+// polish removes shields that are no longer needed. Each removal probe is
+// a windowed evaluator update judged by the maintained feasibility
+// counters, with an O(n) integer rollback when the shield turns out to be
+// load-bearing — replacing the full O(n²) Verify per probe; passes are
+// bounded because the first catches almost every removable shield.
+func (e *Eval) polish() {
+	if !e.Feasible() {
 		return // keep every shield while infeasible
 	}
 	for pass := 0; pass < 2; pass++ {
 		removed := false
-		for t := len(s.Tracks) - 1; t >= 0; t-- {
-			if s.Tracks[t] != Shield {
+		for t := len(e.tracks) - 1; t >= 0; t-- {
+			if e.tracks[t] != Shield {
 				continue
 			}
-			trial := &Solution{Tracks: append(append([]int(nil), s.Tracks[:t]...), s.Tracks[t+1:]...)}
-			if in.Verify(trial).Feasible() {
-				s.Tracks = trial.Tracks
+			e.mark()
+			e.removeAt(t)
+			if e.Feasible() {
 				removed = true
+			} else {
+				e.rollback()
 			}
 		}
 		if !removed {
@@ -225,20 +237,19 @@ func (in *Instance) capPairCount(s *Solution) int {
 }
 
 // improveOrdering hill-climbs adjacent swaps to reduce the number of
-// adjacent sensitive pairs (the NO objective). A swap only affects the
-// adjacencies it touches, but the O(n) recount is cheap enough at region
-// scale; passes are bounded.
+// adjacent sensitive pairs (the NO objective). A swap only affects the two
+// adjacencies beside the pair, so each probe is the O(1) capSwapDelta
+// instead of an O(n) recount; accepted swaps are exactly those the
+// recounting climber accepted (delta < 0 ⇔ new count < current).
 func (in *Instance) improveOrdering(s *Solution) {
 	current := in.capPairCount(s)
 	for pass := 0; pass < 4 && current > 0; pass++ {
 		improved := false
 		for t := 0; t+1 < len(s.Tracks); t++ {
-			s.Tracks[t], s.Tracks[t+1] = s.Tracks[t+1], s.Tracks[t]
-			if c := in.capPairCount(s); c < current {
-				current = c
-				improved = true
-			} else {
+			if d := capSwapDelta(s.Tracks, t, in.sensitiveSegs); d < 0 {
 				s.Tracks[t], s.Tracks[t+1] = s.Tracks[t+1], s.Tracks[t]
+				current += d
+				improved = true
 			}
 		}
 		if !improved {

@@ -196,13 +196,13 @@ func (in *Instance) Verify(s *Solution) *Check {
 }
 
 // conflictDegree returns, for each segment, the number of other segments in
-// the instance it is sensitive to.
-func (in *Instance) conflictDegree() []int {
+// the instance it is sensitive to, under the given pairwise relation.
+func (in *Instance) conflictDegree(sens func(a, b int) bool) []int {
 	n := len(in.Segs)
 	deg := make([]int, n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if in.sensitiveSegs(i, j) {
+			if sens(i, j) {
 				deg[i]++
 				deg[j]++
 			}
