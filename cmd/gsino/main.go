@@ -83,6 +83,11 @@ func main() {
 			r := out.Route
 			fmt.Printf("        phase I: %d routing shards (largest %d nets), %d nets reconciled in %d rounds\n",
 				r.Shards, r.LargestShard, r.Reconciled, r.ReconcileRounds)
+			if f == core.FlowGSINO {
+				p3 := out.Refine
+				fmt.Printf("        phase III: %d repair waves (largest %d nets, %d colors max), %d re-solves; pass 2: %d relaxed, %d accepted, %d reverted\n",
+					p3.Waves, p3.MaxWave, p3.MaxColors, out.Refinements, p3.Relaxed, p3.Accepted, p3.Reverted)
+			}
 		}
 		if f == core.FlowGSINO && out.Unfixable > 0 {
 			fmt.Printf("        (GSINO: %d violations unfixable at the K floor)\n", out.Unfixable)

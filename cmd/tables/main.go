@@ -58,9 +58,9 @@ func main() {
 					log.Fatal(err)
 				}
 				set.Add(out)
-				fmt.Fprintf(os.Stderr, "ran %s %s @%.0f%% in %s (%d violations, %d route shards, %d solves, cache %.0f%% hit)\n",
+				fmt.Fprintf(os.Stderr, "ran %s %s @%.0f%% in %s (%d violations, %d route shards, %d solves, %d refine waves, cache %.0f%% hit)\n",
 					name, f, rate*100, time.Since(start).Round(time.Millisecond),
-					out.Violations, out.Route.Shards, out.Engine.Jobs, out.Engine.HitRate()*100)
+					out.Violations, out.Route.Shards, out.Engine.Jobs, out.Refine.Waves, out.Engine.HitRate()*100)
 			}
 		}
 	}

@@ -1,0 +1,87 @@
+package core
+
+import "sort"
+
+// Phase III pass 1's parallel decomposition rests on a conflict graph over
+// the violating nets: two nets conflict iff their routes share a region
+// instance, because repairing a net mutates exactly the instances it
+// crosses (bounds, solutions, couplings) and reads nothing else. Nets with
+// disjoint instance sets can therefore be repaired concurrently without
+// any of them observing another's intermediate state — the independence
+// structure DESIGN.md §7 builds the wave schedule on.
+
+// conflictNode is one violating net in the conflict graph.
+type conflictNode struct {
+	net   int
+	ratio float64 // violation severity: LSK over budget, > 1 for violators
+	insts []int   // instance ids (regionInst.ord) the net's route crosses
+}
+
+// conflictNodes builds the graph nodes for the currently violating nets,
+// excluding those already marked unfixable. One LSK sweep decides both
+// membership (st.violating's criterion) and severity. Node order is net
+// id ascending, but colorConflicts does not depend on it.
+func (st *chipState) conflictNodes(unfixable map[int]bool) []conflictNode {
+	var nodes []conflictNode
+	for n := range st.terms {
+		if unfixable[n] {
+			continue
+		}
+		lsk := st.lskOf(n)
+		if lsk <= st.lskb[n]*(1+1e-9) {
+			continue
+		}
+		insts := make([]int, 0, len(st.terms[n]))
+		for _, t := range st.terms[n] {
+			insts = append(insts, t.inst.ord)
+		}
+		nodes = append(nodes, conflictNode{net: n, ratio: lsk / st.lskb[n], insts: insts})
+	}
+	return nodes
+}
+
+// colorConflicts greedily partitions nodes into classes whose members are
+// pairwise instance-disjoint. Nodes are considered in a deterministic
+// severity order — ratio descending, net id ascending on ties — and each
+// takes the lowest class containing no conflicting member, so class 0 is
+// the greedy maximal independent set of the severity order (the most
+// severe violators that can repair concurrently). The classes, and the
+// member order within each class, are a pure function of the node set:
+// permuting the input never changes the output.
+func colorConflicts(nodes []conflictNode) [][]conflictNode {
+	order := append([]conflictNode(nil), nodes...)
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].ratio != order[b].ratio {
+			return order[a].ratio > order[b].ratio
+		}
+		return order[a].net < order[b].net
+	})
+	var (
+		classes [][]conflictNode
+		used    []map[int]bool // per class: occupied instance ids
+	)
+	for _, nd := range order {
+		c := 0
+		for ; c < len(classes); c++ {
+			conflict := false
+			for _, id := range nd.insts {
+				if used[c][id] {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				break
+			}
+		}
+		if c == len(classes) {
+			classes = append(classes, nil)
+			used = append(used, make(map[int]bool))
+		}
+		classes[c] = append(classes[c], nd)
+		for _, id := range nd.insts {
+			used[c][id] = true
+		}
+	}
+	return classes
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomNodes generates a random net→instance incidence in the shape
+// conflictNodes produces: unique net ids, severity ratios above 1, and a
+// non-empty instance footprint per net.
+func randomNodes(rng *rand.Rand, nNets, nInsts, maxDeg int) []conflictNode {
+	nodes := make([]conflictNode, nNets)
+	for i := range nodes {
+		deg := 1 + rng.Intn(maxDeg)
+		insts := make([]int, deg)
+		for j := range insts {
+			insts[j] = rng.Intn(nInsts)
+		}
+		nodes[i] = conflictNode{net: i, ratio: 1 + rng.Float64()*5, insts: insts}
+	}
+	return nodes
+}
+
+func nodesConflict(a, b *conflictNode) bool {
+	for _, x := range a.insts {
+		for _, y := range b.insts {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkColoring asserts the three conflict-graph invariants: classes cover
+// every node exactly once, classes are pairwise instance-disjoint, and the
+// greedy property holds (a node's class is the lowest it fits in, so it
+// conflicts with some member of every lower class).
+func checkColoring(t *testing.T, nodes []conflictNode, classes [][]conflictNode) {
+	t.Helper()
+	seen := make(map[int]bool)
+	total := 0
+	for _, cl := range classes {
+		for i := range cl {
+			if seen[cl[i].net] {
+				t.Fatalf("net %d appears in more than one class", cl[i].net)
+			}
+			seen[cl[i].net] = true
+			total++
+		}
+	}
+	if total != len(nodes) {
+		t.Fatalf("classes hold %d nodes, input had %d", total, len(nodes))
+	}
+	for c, cl := range classes {
+		for i := range cl {
+			for j := i + 1; j < len(cl); j++ {
+				if nodesConflict(&cl[i], &cl[j]) {
+					t.Fatalf("class %d: nets %d and %d share an instance", c, cl[i].net, cl[j].net)
+				}
+			}
+		}
+	}
+	for c := 1; c < len(classes); c++ {
+		for i := range classes[c] {
+			for lower := 0; lower < c; lower++ {
+				blocked := false
+				for j := range classes[lower] {
+					if nodesConflict(&classes[c][i], &classes[lower][j]) {
+						blocked = true
+						break
+					}
+				}
+				if !blocked {
+					t.Fatalf("net %d sits in class %d but does not conflict with class %d — not greedy-minimal",
+						classes[c][i].net, c, lower)
+				}
+			}
+		}
+	}
+}
+
+func FuzzRefineConflictGraph(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(6), uint8(3))
+	f.Add(int64(2), uint8(40), uint8(4), uint8(4)) // dense: few instances, many nets
+	f.Add(int64(3), uint8(1), uint8(1), uint8(1))  // singleton
+	f.Add(int64(4), uint8(30), uint8(30), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nNets, nInsts, maxDeg uint8) {
+		n := 1 + int(nNets)%60
+		m := 1 + int(nInsts)%40
+		d := 1 + int(maxDeg)%6
+		rng := rand.New(rand.NewSource(seed))
+		nodes := randomNodes(rng, n, m, d)
+
+		classes := colorConflicts(nodes)
+		checkColoring(t, nodes, classes)
+
+		// Coloring must be a pure function of the node set: shuffling the
+		// input changes nothing, down to the order within each class.
+		shuffled := append([]conflictNode(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if !reflect.DeepEqual(classes, colorConflicts(shuffled)) {
+			t.Fatal("coloring depends on input order")
+		}
+	})
+}
+
+func TestColorConflictsSeverityOrder(t *testing.T) {
+	// Within a class, members appear in severity order (ratio desc, net
+	// asc) — that is the order the repair wave dispatches, and ties must
+	// break on net id for determinism.
+	nodes := []conflictNode{
+		{net: 3, ratio: 2.0, insts: []int{0}},
+		{net: 1, ratio: 2.0, insts: []int{1}},
+		{net: 2, ratio: 5.0, insts: []int{2}},
+		{net: 0, ratio: 1.5, insts: []int{0}}, // conflicts with net 3
+	}
+	classes := colorConflicts(nodes)
+	if len(classes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(classes))
+	}
+	var got []int
+	for _, nd := range classes[0] {
+		got = append(got, nd.net)
+	}
+	if want := []int{2, 1, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("class 0 order = %v, want %v (ratio desc, net asc)", got, want)
+	}
+	if len(classes[1]) != 1 || classes[1][0].net != 0 {
+		t.Errorf("class 1 = %+v, want the bumped net 0", classes[1])
+	}
+}
+
+func TestConflictNodesFootprint(t *testing.T) {
+	// conflictNodes must list exactly the violating nets (minus unfixable)
+	// with their full instance footprint, so the disjointness the coloring
+	// guarantees is disjointness of everything a repair can touch.
+	_, st := ibmRefineFixture(t, 16, 0.5, 1, Params{})
+	violating := st.violating()
+	if len(violating) < 2 {
+		t.Fatal("fixture has too few violators to exercise the graph")
+	}
+	nodes := st.conflictNodes(nil)
+	if len(nodes) != len(violating) {
+		t.Fatalf("%d nodes for %d violating nets", len(nodes), len(violating))
+	}
+	for i, nd := range nodes {
+		if nd.net != violating[i] {
+			t.Fatalf("node %d is net %d, want %d", i, nd.net, violating[i])
+		}
+		if nd.ratio <= 1 {
+			t.Errorf("net %d: severity ratio %g not above 1", nd.net, nd.ratio)
+		}
+		if len(nd.insts) != len(st.terms[nd.net]) {
+			t.Fatalf("net %d: footprint %d instances, terms say %d", nd.net, len(nd.insts), len(st.terms[nd.net]))
+		}
+		for j, tm := range st.terms[nd.net] {
+			if nd.insts[j] != tm.inst.ord {
+				t.Fatalf("net %d footprint[%d] = %d, want inst ord %d", nd.net, j, nd.insts[j], tm.inst.ord)
+			}
+		}
+	}
+
+	// Marking a net unfixable removes exactly that node.
+	skip := map[int]bool{violating[0]: true}
+	pruned := st.conflictNodes(skip)
+	if len(pruned) != len(nodes)-1 {
+		t.Fatalf("unfixable pruning left %d nodes, want %d", len(pruned), len(nodes)-1)
+	}
+	for _, nd := range pruned {
+		if nd.net == violating[0] {
+			t.Fatal("unfixable net still present in the graph")
+		}
+	}
+}
+
+func TestConflictWaveIsInstanceDisjoint(t *testing.T) {
+	// Integration form of the coloring guarantee on a real chip state: the
+	// first color class — the set pass 1 repairs concurrently — must be
+	// pairwise instance-disjoint.
+	_, st := ibmRefineFixture(t, 16, 0.5, 3, Params{})
+	nodes := st.conflictNodes(nil)
+	if len(nodes) == 0 {
+		t.Fatal("fixture has no violators")
+	}
+	classes := colorConflicts(nodes)
+	wave := classes[0]
+	used := make(map[int]int)
+	for _, nd := range wave {
+		for _, id := range nd.insts {
+			if prev, ok := used[id]; ok {
+				t.Fatalf("wave nets %d and %d share instance %d", prev, nd.net, id)
+			}
+			used[id] = nd.net
+		}
+	}
+}

@@ -137,6 +137,9 @@ type Outcome struct {
 
 	Congestion grid.CongestionStats // of the final (shields included) usage
 
+	// Refine reports Phase III's parallel decomposition (GSINO only).
+	Refine RefineStats
+
 	// Engine reports the region-solve engine's activity during this flow:
 	// instances solved, generic tasks run, per-solution track totals, and
 	// the coupling-cache hit rate.
@@ -147,6 +150,20 @@ type Outcome struct {
 	Route route.RunStats
 
 	Runtime time.Duration
+}
+
+// RefineStats reports how Phase III decomposed onto the worker pool
+// (DESIGN.md §7): pass 1's conflict-graph waves and pass 2's speculative
+// relax-then-accept traffic. Like every engine counter, these describe
+// throughput structure only — results are byte-identical at any worker
+// count.
+type RefineStats struct {
+	Waves     int // pass-1 repair waves (conflict-graph barriers)
+	MaxWave   int // nets in the largest wave — the available parallelism
+	MaxColors int // most classes any wave's conflict-graph coloring needed
+	Relaxed   int // pass-2 instances speculatively re-solved
+	Accepted  int // pass-2 relaxations kept at the acceptance barrier
+	Reverted  int // pass-2 relaxations undone (shield count or violation)
 }
 
 // AreaOverheadPct returns the percentage area increase of o versus base —

@@ -11,7 +11,7 @@ import (
 )
 
 // smallDesign builds a compact random design for flow tests.
-func smallDesign(t *testing.T, nNets int, rate float64, seed int64) *Design {
+func smallDesign(t testing.TB, nNets int, rate float64, seed int64) *Design {
 	t.Helper()
 	g, err := grid.New(8, 8, 100, 100, 14, 14)
 	if err != nil {

@@ -72,6 +72,7 @@ func (r *Runner) runGSINO(ctx context.Context) (*Outcome, error) {
 	o := st.outcome(FlowGSINO)
 	o.Refinements = refts.resolves
 	o.Unfixable = refts.unfixable
+	o.Refine = refts.RefineStats
 	o.Engine = r.eng.Stats().Sub(engBase)
 	o.Runtime = time.Since(start)
 	return o, nil

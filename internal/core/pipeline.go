@@ -28,6 +28,7 @@ type segTerm struct {
 // and Phase III.
 type regionInst struct {
 	key  instKey
+	ord  int           // index in chipState.orderd — the conflict-graph id
 	segs []sino.Seg    // segment list (Kth mutable during refinement)
 	lens []geom.Micron // per-segment length inside this region
 	nets []int         // global net id per segment
@@ -206,6 +207,9 @@ func (r *Runner) buildState(res *route.Result, mode budgetMode) *chipState {
 		}
 		return ka.horz && !kb.horz
 	})
+	for i, in := range st.orderd {
+		in.ord = i
+	}
 	return st
 }
 
@@ -240,13 +244,17 @@ func (st *chipState) addSeg(in *regionInst, net int, l geom.Micron, kth float64)
 	st.terms[net] = append(st.terms[net], segTerm{inst: in, seg: len(in.segs) - 1})
 }
 
+// instFor wraps a segment list into a solver instance — the single
+// construction site for every solve the chip issues (Phase II batches,
+// refinement repairs, pass-2 speculation).
+func (st *chipState) instFor(segs []sino.Seg) *sino.Instance {
+	return &sino.Instance{Segs: segs, Sensitive: st.r.sens.Sensitive, Model: st.r.model}
+}
+
 // job builds the engine job for one instance. The worker pool swaps in its
 // own model clone and the shared coupling cache.
 func (st *chipState) job(in *regionInst, mode engine.Mode) engine.Job {
-	j := engine.Job{
-		Inst: &sino.Instance{Segs: in.segs, Sensitive: st.r.sens.Sensitive, Model: st.r.model},
-		Mode: mode,
-	}
+	j := engine.Job{Inst: st.instFor(in.segs), Mode: mode}
 	if mode == engine.ModeRepair {
 		j.Prev = in.sol
 	}
@@ -282,36 +290,6 @@ func (st *chipState) solveAll(ctx context.Context, netOrderOnly bool) error {
 	for i := range results {
 		st.orderd[i].apply(results[i])
 	}
-	return nil
-}
-
-// solveInst (re-)solves one instance and refreshes its couplings. Phase III
-// routes its one-at-a-time re-solves through the engine too: no parallelism
-// for a single job, but the worker models and the coupling cache stay warm.
-func (st *chipState) solveInst(ctx context.Context, in *regionInst, netOrderOnly bool) error {
-	mode := engine.ModeSolve
-	if netOrderOnly {
-		mode = engine.ModeNetOrder
-	}
-	return st.runOne(ctx, in, mode)
-}
-
-// repairInst improves the instance's existing solution by shield insertion
-// only — the cheap path for Phase III pass 1, which perturbs one segment's
-// bound at a time.
-func (st *chipState) repairInst(ctx context.Context, in *regionInst) error {
-	return st.runOne(ctx, in, engine.ModeRepair)
-}
-
-func (st *chipState) runOne(ctx context.Context, in *regionInst, mode engine.Mode) error {
-	results, err := st.r.eng.Run(ctx, []engine.Job{st.job(in, mode)})
-	if err != nil {
-		return err
-	}
-	if err := engine.FirstError(results); err != nil {
-		return err
-	}
-	in.apply(results[0])
 	return nil
 }
 

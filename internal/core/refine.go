@@ -2,30 +2,59 @@ package core
 
 import (
 	"context"
-	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/sino"
 )
 
-// refineStats reports Phase III activity.
+// refineStats reports Phase III activity: the two legacy counters plus
+// the embedded wave/relax decomposition that flows.go copies wholesale
+// into Outcome.Refine.
 type refineStats struct {
 	resolves  int // SINO re-runs across both passes
 	unfixable int // violating nets that could not be repaired
+
+	RefineStats
 }
 
 // refine is Phase III (Figure 2): two passes of greedy local refinement.
 //
-// Pass 1 eliminates crosstalk violations: take the most severely violating
-// net; in the least congested region it crosses, tighten its segment's Kth
-// (allowing one more shield's worth of isolation) and re-run SINO there;
-// repeat inside the net until it meets its budget, then move to the next
-// violator. Pass 2 reduces congestion: in the most congested regions, grant
-// the nets with LSK slack looser bounds and re-run SINO; keep the new
-// solution only when it removes shields without creating any violation.
+// Pass 1 eliminates crosstalk violations: for each wave, take the maximal
+// independent set of the most severely violating nets (nets conflict iff
+// they share a region instance — see conflict.go) and repair every net in
+// it concurrently; inside a net, tighten its segment's Kth in the least
+// congested region it crosses (allowing one more shield's worth of
+// isolation) and re-run SINO there, until the net meets its budget. Pass 2
+// reduces congestion: the most congested instances are speculatively
+// re-solved in parallel with the slack of their nets granted as looser
+// bounds, then accepted serially in density order; a relaxation is kept
+// only when it removes shields without creating any violation.
+//
+// Both passes run on the engine's worker pool. The wave schedule, the
+// per-net repair loops, and the serial acceptance order are all pure
+// functions of the chip state, so the outcome is byte-identical at any
+// worker count (DESIGN.md §7); refineSerial is the pool-free reference the
+// determinism tests compare against.
 func (st *chipState) refine(ctx context.Context) (refineStats, error) {
+	return st.refineWith(ctx, engineWaves{st.r.eng})
+}
+
+// refineSerial runs the same wave algorithm one task at a time on a single
+// standalone worker, with no pool involvement.
+func (st *chipState) refineSerial(ctx context.Context) (refineStats, error) {
+	w, err := st.r.eng.NewWorker()
+	if err != nil {
+		return refineStats{}, err
+	}
+	return st.refineWith(ctx, serialWaves{w})
+}
+
+func (st *chipState) refineWith(ctx context.Context, exec waveExec) (refineStats, error) {
 	var stats refineStats
-	if err := st.refinePass1(ctx, &stats); err != nil {
+	if err := st.refinePass1(ctx, exec, &stats); err != nil {
 		return stats, err
 	}
-	if err := st.refinePass2(ctx, &stats); err != nil {
+	if err := st.refinePass2(ctx, exec, &stats); err != nil {
 		return stats, err
 	}
 	return stats, nil
@@ -43,83 +72,59 @@ func (st *chipState) density(in *regionInst) float64 {
 	return float64(tracks) / float64(st.r.design.Grid.VC)
 }
 
-func (st *chipState) refinePass1(ctx context.Context, stats *refineStats) error {
+// repairNet runs one violating net's tighten-and-resolve loop to
+// completion on w: repeatedly pull the segment bound in the net's least
+// congested tightenable region toward its fair share of the needed
+// reduction (the fixed shrink factor alone converges too slowly for nets
+// crossing dozens of regions) and repair that instance by shield
+// insertion. It reports whether the net met its budget and how many
+// re-solves ran. The loop reads and mutates only the net's own instances,
+// so nets with disjoint instance sets repair concurrently without
+// observing each other.
+func (st *chipState) repairNet(ctx context.Context, net int, w *engine.Worker) (fixed bool, resolves int, err error) {
 	kFloor := st.r.budgeter.KFloor
 	if kFloor <= 0 {
 		kFloor = 0.05
 	}
 	shrink := st.r.params.RefineShrink
 
-	unfixable := make(map[int]bool)
-	guard := 0
-	maxIters := 40*len(st.violating()) + 200
-	for {
-		guard++
-		if guard > maxIters {
-			break
+	tried := make(map[*regionInst]int)
+	for inner := 0; inner < 3*len(st.terms[net])+8; inner++ {
+		if err := ctx.Err(); err != nil {
+			return false, resolves, err // cancellation stops mid-net, not mid-solve
 		}
-		// Outer loop: the net with the most severe remaining violation.
-		worst, worstRatio := -1, 1.0
-		for _, n := range st.violating() {
-			if unfixable[n] {
-				continue
-			}
-			if ratio := st.lskOf(n) / st.lskb[n]; ratio > worstRatio {
-				worst, worstRatio = n, ratio
-			}
+		lsk := st.lskOf(net)
+		if lsk <= st.lskb[net]*(1+1e-9) {
+			return true, resolves, nil
 		}
-		if worst < 0 {
-			break
+		ratio := st.lskb[net] / lsk * shrink
+		t := st.leastCongestedTightenable(net, kFloor, tried)
+		if t == nil {
+			break // every segment at the floor or exhausted
 		}
-
-		// Inner loop: tighten this net region by region, least congested
-		// first, until it meets its budget. Each visit pulls the segment's
-		// bound toward its fair share of the needed reduction (the fixed
-		// shrink factor alone converges too slowly for nets crossing dozens
-		// of regions).
-		fixed := false
-		tried := make(map[*regionInst]int)
-		for inner := 0; inner < 3*len(st.terms[worst])+8; inner++ {
-			lsk := st.lskOf(worst)
-			if lsk <= st.lskb[worst]*(1+1e-9) {
-				fixed = true
-				break
-			}
-			ratio := st.lskb[worst] / lsk * shrink
-			t := st.leastCongestedTightenable(worst, kFloor, tried)
-			if t == nil {
-				break // every segment at the floor or exhausted
-			}
-			in := t.inst
-			target := in.k[t.seg] * ratio
-			if cur := in.segs[t.seg].Kth; target >= cur {
-				target = cur * shrink
-			}
-			if target < kFloor {
-				target = kFloor
-			}
-			before := in.k[t.seg]
-			in.segs[t.seg].Kth = target
-			if err := st.repairInst(ctx, in); err != nil {
-				return err
-			}
-			stats.resolves++
-			if in.k[t.seg] >= before*(1-1e-9) {
-				// The solver could not reduce this segment further; stop
-				// revisiting it once it has had a couple of chances.
-				tried[in]++
-			}
+		in := t.inst
+		target := in.k[t.seg] * ratio
+		if cur := in.segs[t.seg].Kth; target >= cur {
+			target = cur * shrink
 		}
-		if !fixed {
-			unfixable[worst] = true
+		if target < kFloor {
+			target = kFloor
+		}
+		before := in.k[t.seg]
+		in.segs[t.seg].Kth = target
+		res := w.Do(st.job(in, engine.ModeRepair))
+		if res.Err != nil {
+			return false, resolves, res.Err
+		}
+		in.apply(res)
+		resolves++
+		if in.k[t.seg] >= before*(1-1e-9) {
+			// The solver could not reduce this segment further; stop
+			// revisiting it once it has had a couple of chances.
+			tried[in]++
 		}
 	}
-	stats.unfixable = 0
-	for _, n := range st.violating() {
-		_ = n
-		stats.unfixable++
-	}
-	return nil
+	return false, resolves, nil
 }
 
 // leastCongestedTightenable picks the net's segment in the least congested
@@ -141,34 +146,28 @@ func (st *chipState) leastCongestedTightenable(net int, kFloor float64, tried ma
 	return best
 }
 
-func (st *chipState) refinePass2(ctx context.Context, stats *refineStats) error {
-	// Work from the most congested instances down; one sweep with
-	// acceptance-gated re-solves implements "until no reduction on the
-	// slacks is possible without causing crosstalk violations" within a
-	// bounded budget.
-	order := append([]*regionInst(nil), st.orderd...)
-	sort.Slice(order, func(a, b int) bool { return st.density(order[a]) > st.density(order[b]) })
-	for _, in := range order {
-		if st.density(in) <= 1 || in.sol == nil || in.sol.NumShields() == 0 {
-			continue
-		}
-		if err := st.tryRelax(ctx, in, stats); err != nil {
-			return err
-		}
-	}
-	return nil
+// relaxPlan is one pass-2 candidate's speculative result: the loosened
+// bounds and the solution found under them, computed against a snapshot of
+// the chip state without mutating it.
+type relaxPlan struct {
+	in      *regionInst
+	changed bool // some segment actually gained slack
+	kth     []float64
+	sol     *sino.Solution
+	k       []float64
 }
 
-// tryRelax grants every segment of the instance its LSK slack (converted to
-// a K allowance over its local length), re-solves, and keeps the result only
-// if shields were removed and no net anywhere fell into violation.
-func (st *chipState) tryRelax(ctx context.Context, in *regionInst, stats *refineStats) error {
-	oldKth := make([]float64, len(in.segs))
+// speculateRelax grants every segment of the instance its net's LSK slack
+// (converted to a K allowance over its local length) and re-solves under
+// the loosened bounds, touching nothing outside the returned plan. Slack
+// is read from the shared chip state, which the speculation wave treats as
+// an immutable snapshot.
+func (st *chipState) speculateRelax(in *regionInst, w *engine.Worker) (relaxPlan, error) {
+	p := relaxPlan{in: in}
+	kth := make([]float64, len(in.segs))
 	for i := range in.segs {
-		oldKth[i] = in.segs[i].Kth
+		kth[i] = in.segs[i].Kth
 	}
-	oldSol, oldK := in.sol, in.k
-
 	changed := false
 	for i := range in.segs {
 		net := in.nets[i]
@@ -180,23 +179,49 @@ func (st *chipState) tryRelax(ctx context.Context, in *regionInst, stats *refine
 		if allow <= 0 {
 			continue
 		}
-		in.segs[i].Kth = oldKth[i] + allow
+		kth[i] += allow
 		changed = true
 	}
 	if !changed {
-		return nil
+		return p, nil
 	}
-	if err := st.solveInst(ctx, in, false); err != nil {
-		return err
+	segs := append([]sino.Seg(nil), in.segs...)
+	for i := range segs {
+		segs[i].Kth = kth[i]
 	}
-	stats.resolves++
+	res := w.Do(engine.Job{Inst: st.instFor(segs), Mode: engine.ModeSolve})
+	if res.Err != nil {
+		return p, res.Err
+	}
+	p.changed, p.kth, p.sol, p.k = true, kth, res.Sol, res.Check.K
+	return p, nil
+}
+
+// acceptOrRevert applies one speculative relaxation and keeps it only if
+// shields were removed and no net anywhere fell into violation — Figure
+// 2's acceptance rule. A plan speculated against slack that an earlier
+// acceptance has since consumed fails the violation check here and is
+// reverted, restoring the instance's bounds, solution, and couplings
+// exactly. Reports whether the plan was kept.
+func (st *chipState) acceptOrRevert(p *relaxPlan) bool {
+	in := p.in
+	oldKth := make([]float64, len(in.segs))
+	for i := range in.segs {
+		oldKth[i] = in.segs[i].Kth
+	}
+	oldSol, oldK := in.sol, in.k
+
+	for i := range in.segs {
+		in.segs[i].Kth = p.kth[i]
+	}
+	in.sol, in.k = p.sol, p.k
 	if in.sol.NumShields() < oldSol.NumShields() && len(st.violating()) == 0 {
-		return nil // accepted
+		return true // accepted
 	}
 	// Revert.
 	for i := range in.segs {
 		in.segs[i].Kth = oldKth[i]
 	}
 	in.sol, in.k = oldSol, oldK
-	return nil
+	return false
 }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// refineBenchJSON enables the machine-readable refinement bench smoke:
+//
+//	go test ./internal/core -run TestRefineBenchJSON -benchjson BENCH_refine.json
+//
+// It runs the Phase III pass benchmarks through testing.Benchmark
+// (honoring -benchtime) and writes their ns/op to the given file, the
+// same trajectory-tracking scheme as internal/sino's BENCH_sino.json.
+var refineBenchJSON = flag.String("benchjson", "", "write refinement pass benchmark ns/op to this JSON file")
+
+// refineBenchWorkers are the pool sizes benchmarked: serial and a
+// representative parallel bound (fixed, so BENCH_refine.json keys are
+// machine-independent; on a single-core host the arms coincide).
+var refineBenchWorkers = []int{1, 4}
+
+// benchRefineState builds the shared fixture: a scaled ibm01 with real
+// Phase II violations (~38 violating nets at scale 8), plus a snapshot to
+// restore between iterations so every pass run starts from the same state.
+func benchRefineState(b *testing.B, workers int) (*Runner, *chipState, []instSnap) {
+	r, st := ibmRefineFixture(b, 8, 0.5, 1, Params{Workers: workers})
+	if len(st.violating()) == 0 {
+		b.Fatal("bench fixture has no violations to repair")
+	}
+	return r, st, snapshotState(st)
+}
+
+func benchRefinePass1Body(b *testing.B, workers int) {
+	r, st, snaps := benchRefineState(b, workers)
+	var last refineStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restoreState(st, snaps)
+		b.StartTimer()
+		var stats refineStats
+		if err := st.refinePass1(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+			b.Fatal(err)
+		}
+		last = stats
+	}
+	b.ReportMetric(float64(last.Waves), "waves")
+	b.ReportMetric(float64(last.resolves), "resolves")
+}
+
+func benchRefinePass2Body(b *testing.B, workers int) {
+	r, st, _ := benchRefineState(b, workers)
+	var stats refineStats
+	if err := st.refinePass1(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+		b.Fatal(err)
+	}
+	snaps := snapshotState(st) // pass 2 starts from the repaired state
+	var last refineStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restoreState(st, snaps)
+		b.StartTimer()
+		var stats refineStats
+		if err := st.refinePass2(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+			b.Fatal(err)
+		}
+		last = stats
+	}
+	b.ReportMetric(float64(last.Relaxed), "relaxed")
+}
+
+// refineBenchFamilies maps family names to bodies — shared by
+// BenchmarkRefine and the -benchjson smoke.
+var refineBenchFamilies = []struct {
+	name string
+	body func(b *testing.B, workers int)
+}{
+	{"pass1", benchRefinePass1Body},
+	{"pass2", benchRefinePass2Body},
+}
+
+// BenchmarkRefine measures Phase III's two passes on the engine across
+// worker counts. On a multi-core machine pass 1 scales with the wave
+// widths (MaxWave concurrent net repairs) and pass 2 with the candidate
+// count; on one core the parallel arm must cost no more than the serial
+// one (the same contract the Phase I and Phase II benches pin).
+func BenchmarkRefine(b *testing.B) {
+	for _, fam := range refineBenchFamilies {
+		for _, w := range refineBenchWorkers {
+			fam, w := fam, w
+			b.Run(fmt.Sprintf("%s/workers%d", fam.name, w), func(b *testing.B) {
+				fam.body(b, w)
+			})
+		}
+	}
+}
+
+func TestRefineBenchJSON(t *testing.T) {
+	if *refineBenchJSON == "" {
+		t.Skip("bench smoke disabled; enable with -benchjson <path>")
+	}
+	report := struct {
+		Unit       string           `json:"unit"`
+		Benchmarks map[string]int64 `json:"benchmarks"`
+	}{Unit: "ns/op", Benchmarks: map[string]int64{}}
+	for _, fam := range refineBenchFamilies {
+		for _, w := range refineBenchWorkers {
+			fam, w := fam, w
+			res := testing.Benchmark(func(b *testing.B) { fam.body(b, w) })
+			report.Benchmarks[fmt.Sprintf("%s/workers%d", fam.name, w)] = res.NsPerOp()
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*refineBenchJSON, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d benchmark entries to %s", len(report.Benchmarks), *refineBenchJSON)
+}

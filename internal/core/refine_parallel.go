@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// Phase III's wave schedule (DESIGN.md §7). Pass 1 repeats: snapshot the
+// violating nets, build the conflict graph, color it, and repair the first
+// color class — the greedy maximal independent set of the severity order —
+// as one pool batch. Pass 2 speculates every relax candidate in parallel
+// against a frozen snapshot, then accepts serially in density order.
+// Every parallel section mutates only task-private state and every
+// decision happens at a barrier over deterministic inputs, so the outcome
+// is byte-identical at any worker count; serialWaves replays the identical
+// schedule without the pool.
+
+// waveExec runs one wave — a batch of mutually independent tasks — to
+// completion before returning.
+type waveExec interface {
+	wave(ctx context.Context, tasks []func(*engine.Worker) error) error
+}
+
+// engineWaves executes waves on the engine's bounded pool.
+type engineWaves struct{ e *engine.Engine }
+
+func (x engineWaves) wave(ctx context.Context, tasks []func(*engine.Worker) error) error {
+	return x.e.RunOn(ctx, tasks)
+}
+
+// serialWaves executes waves one task at a time on a single standalone
+// worker — the serial reference schedule. Tasks in a wave touch disjoint
+// instance sets and the solver is deterministic, so the pooled and serial
+// executors produce byte-identical chip state.
+type serialWaves struct{ w *engine.Worker }
+
+func (x serialWaves) wave(ctx context.Context, tasks []func(*engine.Worker) error) error {
+	for _, t := range tasks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := t(x.w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refinePass1 eliminates crosstalk violations in conflict-graph waves.
+// Each wave repairs a maximal independent set of the most severe violators
+// concurrently; violation state is then recomputed once at the barrier and
+// the graph rebuilt, so later waves see the repaired state exactly as a
+// serial execution would. Nets whose repair loop ends without meeting the
+// budget are marked unfixable and excluded from later graphs.
+func (st *chipState) refinePass1(ctx context.Context, exec waveExec, stats *refineStats) error {
+	unfixable := make(map[int]bool)
+	maxWaves := 4*len(st.violating()) + 16
+	for wave := 0; wave < maxWaves; wave++ {
+		nodes := st.conflictNodes(unfixable)
+		if len(nodes) == 0 {
+			break
+		}
+		classes := colorConflicts(nodes)
+		if len(classes) > stats.MaxColors {
+			stats.MaxColors = len(classes)
+		}
+		batch := classes[0]
+		stats.Waves++
+		if len(batch) > stats.MaxWave {
+			stats.MaxWave = len(batch)
+		}
+
+		type netResult struct {
+			fixed    bool
+			resolves int
+		}
+		results := make([]netResult, len(batch))
+		tasks := make([]func(*engine.Worker) error, len(batch))
+		for i := range batch {
+			i, net := i, batch[i].net
+			tasks[i] = func(w *engine.Worker) error {
+				fixed, resolves, err := st.repairNet(ctx, net, w)
+				results[i] = netResult{fixed: fixed, resolves: resolves}
+				return err
+			}
+		}
+		if err := exec.wave(ctx, tasks); err != nil {
+			return err
+		}
+		for i := range batch {
+			stats.resolves += results[i].resolves
+			if !results[i].fixed {
+				unfixable[batch[i].net] = true
+			}
+		}
+	}
+	stats.unfixable = len(st.violating())
+	return nil
+}
+
+// refinePass2 reduces congestion: every overfull shielded instance is
+// speculatively re-solved in parallel with its nets' slack granted as
+// looser bounds (one wave, all candidates reading the same frozen
+// snapshot), then the speculative solutions are accepted serially from the
+// most congested instance down. Acceptance re-checks the global violation
+// state live, so a plan whose slack an earlier acceptance consumed is
+// simply reverted — "until no reduction on the slacks is possible without
+// causing crosstalk violations" within one bounded sweep.
+func (st *chipState) refinePass2(ctx context.Context, exec waveExec, stats *refineStats) error {
+	if len(st.violating()) > 0 {
+		// Acceptance requires a violation-free chip, so with unfixable nets
+		// left over from pass 1 every plan would be speculated and then
+		// reverted — skip the wave outright (byte-identical chip state).
+		return nil
+	}
+	order := append([]*regionInst(nil), st.orderd...)
+	sort.SliceStable(order, func(a, b int) bool { return st.density(order[a]) > st.density(order[b]) })
+	var cands []*regionInst
+	for _, in := range order {
+		if st.density(in) <= 1 || in.sol == nil || in.sol.NumShields() == 0 {
+			continue
+		}
+		cands = append(cands, in)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	plans := make([]relaxPlan, len(cands))
+	tasks := make([]func(*engine.Worker) error, len(cands))
+	for i := range cands {
+		i, in := i, cands[i]
+		tasks[i] = func(w *engine.Worker) error {
+			p, err := st.speculateRelax(in, w)
+			plans[i] = p
+			return err
+		}
+	}
+	if err := exec.wave(ctx, tasks); err != nil {
+		return err
+	}
+
+	for i := range plans {
+		if !plans[i].changed {
+			continue
+		}
+		stats.resolves++
+		stats.Relaxed++
+		if st.acceptOrRevert(&plans[i]) {
+			stats.Accepted++
+		} else {
+			stats.Reverted++
+		}
+	}
+	return nil
+}

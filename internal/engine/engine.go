@@ -112,8 +112,9 @@ type Config struct {
 // Stats are the engine's cumulative counters since construction.
 type Stats struct {
 	Workers   int    // pool bound
-	Jobs      uint64 // instances solved (all modes)
-	Tasks     uint64 // generic tasks executed via RunTasks
+	Jobs      uint64 // instances solved (all modes, Run and Worker.Do alike)
+	Tasks     uint64 // generic tasks executed via RunTasks and RunOn
+	Waves     uint64 // barrier batches executed via RunOn
 	Errors    uint64 // jobs that returned an error
 	Tracks    uint64 // total tracks across returned solutions
 	Shields   uint64 // total shield tracks across returned solutions
@@ -135,6 +136,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		Workers:   s.Workers,
 		Jobs:      s.Jobs - prev.Jobs,
 		Tasks:     s.Tasks - prev.Tasks,
+		Waves:     s.Waves - prev.Waves,
 		Errors:    s.Errors - prev.Errors,
 		Tracks:    s.Tracks - prev.Tracks,
 		Shields:   s.Shields - prev.Shields,
@@ -154,9 +156,11 @@ type Engine struct {
 
 	runMu  sync.Mutex    // serializes Run calls
 	models []*keff.Model // one per worker, created at first Run
+	evals  []*sino.Eval  // one per worker, lazily built, reused across calls
 
 	jobs    atomic.Uint64
 	tasks   atomic.Uint64
+	waves   atomic.Uint64
 	errors  atomic.Uint64
 	tracks  atomic.Uint64
 	shields atomic.Uint64
@@ -194,6 +198,19 @@ func (e *Engine) initModels(proto *keff.Model) {
 	for i := range e.models {
 		e.models[i] = proto.Clone()
 	}
+	e.evals = make([]*sino.Eval, e.workers)
+}
+
+// eval returns worker w's pooled incremental evaluator, allocating it on
+// first use. Its buffers (and, for cache-less instances, its coupling
+// memo) persist across every Run and RunOn batch the worker serves. Only
+// valid while holding runMu with models initialized; slot w is touched by
+// exactly one drain goroutine per batch.
+func (e *Engine) eval(w int) *sino.Eval {
+	if e.evals[w] == nil {
+		e.evals[w] = sino.NewEval()
+	}
+	return e.evals[w]
 }
 
 // Workers returns the pool bound.
@@ -209,12 +226,56 @@ func (e *Engine) Stats() Stats {
 		Workers:   e.workers,
 		Jobs:      e.jobs.Load(),
 		Tasks:     e.tasks.Load(),
+		Waves:     e.waves.Load(),
 		Errors:    e.errors.Load(),
 		Tracks:    e.tracks.Load(),
 		Shields:   e.shields.Load(),
 		CacheHits: hits - e.cacheBaseHits,
 		CacheMiss: miss - e.cacheBaseMiss,
 	}
+}
+
+// drain is the pool's shared claim loop: up to e.workers goroutines claim
+// indices 0..n-1 from an atomic counter and call body(worker, i); all of a
+// goroutine's claims share its worker id, so per-worker resources (model
+// clones, pooled evaluators, Worker contexts) can be indexed by it. drain
+// is a barrier — it returns once every index has been claimed and its body
+// returned. Run, RunTasks, and RunOn all execute on this loop; only their
+// per-index bodies differ.
+func (e *Engine) drain(n int, body func(worker, i int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				body(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// firstTaskError reports the first error in submission order, wrapped with
+// its task index — the shared error contract of RunTasks and RunOn.
+func firstTaskError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("engine: task %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Run solves every job and returns results positionally: results[i] is
@@ -238,47 +299,97 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		e.initModels(proto)
 	}
 
-	workers := e.workers
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
 	var (
-		next     atomic.Int64 // next job index to claim
-		done     int          // guarded by progress, so callbacks see monotonic counts
+		done     int // guarded by progress, so callbacks see monotonic counts
 		progress sync.Mutex
-		wg       sync.WaitGroup
 	)
 	total := len(jobs)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(model *keff.Model) {
-			defer wg.Done()
-			// One incremental evaluator per worker: its buffers (and, for
-			// cache-less instances, its coupling memo) are reused by every
-			// job the worker claims.
-			ev := sino.NewEval()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= total {
-					return
-				}
-				if ctx.Err() != nil {
-					results[i] = Result{Err: ctx.Err()}
-					continue // drain remaining indices with the ctx error
-				}
-				results[i] = e.solveJob(&jobs[i], model, ev)
-				if e.onProgress != nil {
-					progress.Lock()
-					done++
-					e.onProgress(Progress{Done: done, Total: total})
-					progress.Unlock()
-				}
-			}
-		}(e.models[w])
-	}
-	wg.Wait()
+	e.drain(total, func(w, i int) {
+		if ctx.Err() != nil {
+			results[i] = Result{Err: ctx.Err()} // drain remaining with the ctx error
+			return
+		}
+		results[i] = e.solveJob(&jobs[i], e.models[w], e.eval(w))
+		if e.onProgress != nil {
+			progress.Lock()
+			done++
+			e.onProgress(Progress{Done: done, Total: total})
+			progress.Unlock()
+		}
+	})
 	return results, ctx.Err()
+}
+
+// Worker is one pool worker's private solve context: a model clone, a
+// pooled incremental evaluator, and access to the engine's shared coupling
+// cache. RunOn hands a Worker to each task it schedules; tasks solve
+// instances through Do instead of calling Run (the pool is already held
+// for the duration of the batch). A Worker must not be used from more than
+// one goroutine at a time.
+type Worker struct {
+	e     *Engine
+	model *keff.Model
+	ev    *sino.Eval
+}
+
+// Do solves one job with this worker's private resources — the single-job
+// counterpart of Run for use inside RunOn tasks. It has Run's semantics
+// exactly (model/cache swap, panic conversion, counters), so a job solved
+// through Do is bit-identical to the same job solved through Run.
+func (w *Worker) Do(job Job) Result {
+	return w.e.solveJob(&job, w.model, w.ev)
+}
+
+// NewWorker returns a standalone worker outside the pool: a private clone
+// of the engine's prototype model, a fresh evaluator, and the shared
+// cache. It backs serial reference executions of batch algorithms (e.g.
+// Phase III's serial refinement path, which the determinism tests compare
+// the pooled path against). The engine must have a configured model —
+// either Config.Model or a prior Run that adopted a job's model.
+func (e *Engine) NewWorker() (*Worker, error) {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.models == nil {
+		return nil, fmt.Errorf("engine: NewWorker requires a configured model (set Config.Model or Run a batch first)")
+	}
+	return &Worker{e: e, model: e.models[0].Clone(), ev: sino.NewEval()}, nil
+}
+
+// RunOn executes tasks on the bounded pool, handing each the executing
+// worker's private context — the batch-with-barrier primitive behind
+// Phase III's parallel refinement waves. Like RunTasks it is a barrier
+// (it returns only after every task finished), converts task panics into
+// errors, and reports the first task error in submission order; unlike
+// RunTasks, each task receives a *Worker so an inner loop of many solver
+// calls can reuse one set of pooled per-worker resources. Tasks must not
+// mutate state shared with any other task in the same call.
+func (e *Engine) RunOn(ctx context.Context, tasks []func(*Worker) error) error {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+
+	if len(tasks) == 0 {
+		return ctx.Err()
+	}
+	if e.models == nil {
+		return fmt.Errorf("engine: RunOn requires a configured model (set Config.Model or Run a batch first)")
+	}
+	e.waves.Add(1)
+	errs := make([]error, len(tasks))
+	workers := make([]*Worker, e.workers) // each slot touched by one goroutine
+	e.drain(len(tasks), func(w, i int) {
+		if ctx.Err() != nil {
+			return // drain remaining indices without running them
+		}
+		if workers[w] == nil {
+			workers[w] = &Worker{e: e, model: e.models[w], ev: e.eval(w)}
+		}
+		wk := workers[w]
+		errs[i] = e.runTask(func() error { return tasks[i](wk) })
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstTaskError(errs)
 }
 
 // RunTasks executes arbitrary function jobs on the engine's bounded pool —
@@ -297,41 +408,17 @@ func (e *Engine) RunTasks(ctx context.Context, tasks []func() error) error {
 	if len(tasks) == 0 {
 		return ctx.Err()
 	}
-	workers := e.workers
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
 	errs := make([]error, len(tasks))
-	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(tasks) {
-					return
-				}
-				if ctx.Err() != nil {
-					continue // drain remaining indices without running them
-				}
-				errs[i] = e.runTask(tasks[i])
-			}
-		}()
-	}
-	wg.Wait()
+	e.drain(len(tasks), func(_, i int) {
+		if ctx.Err() != nil {
+			return // drain remaining indices without running them
+		}
+		errs[i] = e.runTask(tasks[i])
+	})
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("engine: task %d: %w", i, err)
-		}
-	}
-	return nil
+	return firstTaskError(errs)
 }
 
 // runTask runs one generic task, converting panics into errors.

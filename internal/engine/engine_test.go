@@ -280,6 +280,105 @@ func TestRunTasksPanicBecomesError(t *testing.T) {
 	}
 }
 
+func TestRunOnMatchesRun(t *testing.T) {
+	// A job solved through a RunOn worker's Do must be bit-identical to the
+	// same job solved through Run — Phase III's parallel refinement relies
+	// on this to keep the wave schedule worker-invariant.
+	jobs := makeJobs(20, ModeSolve)
+	want, err := New(Config{Workers: 4}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		e := New(Config{Workers: workers, Model: jobs[0].Inst.Model})
+		got := make([]Result, len(jobs))
+		tasks := make([]func(*Worker) error, len(jobs))
+		for i := range jobs {
+			i := i
+			tasks[i] = func(w *Worker) error {
+				got[i] = w.Do(jobs[i])
+				return got[i].Err
+			}
+		}
+		if err := e.RunOn(context.Background(), tasks); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !solutionsEqual(want[i], got[i]) {
+				t.Errorf("workers=%d: task %d diverged from Run", workers, i)
+			}
+		}
+		st := e.Stats()
+		if st.Waves != 1 || st.Tasks != uint64(len(jobs)) || st.Jobs != uint64(len(jobs)) {
+			t.Errorf("workers=%d: stats = %+v, want 1 wave, %d tasks, %d jobs", workers, st, len(jobs), len(jobs))
+		}
+	}
+}
+
+func TestRunOnRequiresModel(t *testing.T) {
+	e := New(Config{Workers: 2}) // no model, no prior Run
+	err := e.RunOn(context.Background(), []func(*Worker) error{func(*Worker) error { return nil }})
+	if err == nil || !strings.Contains(err.Error(), "model") {
+		t.Errorf("err = %v, want configured-model error", err)
+	}
+	if _, err := e.NewWorker(); err == nil {
+		t.Error("NewWorker without a model: want error")
+	}
+}
+
+func TestRunOnFirstErrorInSubmissionOrder(t *testing.T) {
+	jobs := makeJobs(1, ModeSolve)
+	e := New(Config{Workers: 4, Model: jobs[0].Inst.Model})
+	tasks := []func(*Worker) error{
+		func(*Worker) error { return nil },
+		func(*Worker) error { return errors.New("wave-boom-1") },
+		func(*Worker) error { panic("wave-panic") },
+	}
+	err := e.RunOn(context.Background(), tasks)
+	if err == nil || !strings.Contains(err.Error(), "task 1") || !strings.Contains(err.Error(), "wave-boom-1") {
+		t.Errorf("err = %v, want task 1 wave-boom-1", err)
+	}
+	if st := e.Stats(); st.Errors != 2 {
+		t.Errorf("Stats.Errors = %d, want 2 (error + panic)", st.Errors)
+	}
+}
+
+func TestRunOnCancelledContext(t *testing.T) {
+	jobs := makeJobs(1, ModeSolve)
+	e := New(Config{Workers: 2, Model: jobs[0].Inst.Model})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	tasks := make([]func(*Worker) error, 10)
+	for i := range tasks {
+		tasks[i] = func(*Worker) error { ran.Add(1); return nil }
+	}
+	if err := e.RunOn(ctx, tasks); err == nil {
+		t.Error("cancelled context: want error")
+	}
+	if ran.Load() != 0 {
+		t.Errorf("cancelled RunOn still executed %d tasks", ran.Load())
+	}
+}
+
+func TestNewWorkerMatchesRun(t *testing.T) {
+	jobs := makeJobs(8, ModeSolve)
+	want, err := New(Config{Workers: 4}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Workers: 4, Model: jobs[0].Inst.Model})
+	w, err := e.NewWorker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if got := w.Do(jobs[i]); !solutionsEqual(want[i], got) {
+			t.Errorf("standalone worker job %d diverged from Run", i)
+		}
+	}
+}
+
 func TestRunTasksCancelledContext(t *testing.T) {
 	e := New(Config{Workers: 2})
 	ctx, cancel := context.WithCancel(context.Background())

@@ -1,11 +1,13 @@
 package report
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/ibm"
@@ -93,6 +95,59 @@ func renderAll(t *testing.T, workers int) string {
 	set.Deltas(&b)
 	set.CSV(&b)
 	return b.String()
+}
+
+// gsinoFingerprint runs the full GSINO pipeline on a refinement-heavy
+// scaled ibm01 and renders everything a worker count could possibly
+// disturb: the report bytes plus the outcome fields the tables omit
+// (refinement counters included — Phase III's wave decomposition is part
+// of the determinism contract).
+func gsinoFingerprint(t *testing.T, seed int64, workers int) string {
+	t.Helper()
+	profile, err := ibm.ProfileByName("ibm01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := ibm.Generate(profile, ibm.Options{Seed: seed, Scale: 16, SensRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewRunner(&core.Design{Name: "ibm01", Nets: ckt.Nets, Grid: ckt.Grid, Rate: 0.5}, core.Params{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := r.Run(core.FlowGSINO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Runtime = 0
+	o.Engine = engine.Stats{} // scheduling-dependent throughput counters only
+	set := NewSet()
+	set.Add(o)
+	var b strings.Builder
+	set.Table1(&b)
+	set.Table2(&b)
+	set.Table3(&b)
+	set.CSV(&b)
+	fmt.Fprintf(&b, "outcome: %+v\n", *o)
+	return b.String()
+}
+
+// TestRefineWorkerInvariance pins Phase III's parallel refinement to the
+// engine's determinism contract: the full GSINO pipeline — conflict-graph
+// repair waves and speculative pass 2 included — must produce identical
+// reports and outcome fields at every worker count, on several seeds with
+// real refinement pressure.
+func TestRefineWorkerInvariance(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seq := gsinoFingerprint(t, seed, 1)
+		for _, workers := range []int{4, 8} {
+			if par := gsinoFingerprint(t, seed, workers); par != seq {
+				t.Errorf("seed %d: GSINO outcome with %d workers differs from 1 worker:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+					seed, workers, seq, workers, par)
+			}
+		}
+	}
 }
 
 // TestParallelPipelineMatchesSequentialReport is the engine's determinism
