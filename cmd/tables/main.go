@@ -3,15 +3,23 @@
 // the benchmark circuits at both sensitivity rates, and prints measured
 // numbers next to the published ones.
 //
+// The circuits × rates × flows grid runs on the cross-chip batch scheduler
+// (internal/sched): -jobs cells run concurrently, all sharing one
+// per-technology coupling cache, and -workers engine workers split evenly
+// between them. Tables and CSV are byte-identical at every -jobs/-workers
+// setting; -jobs 1 is the serial path.
+//
 // Usage:
 //
-//	tables                         # all circuits, scale 4
+//	tables                         # all circuits, scale 4, serial
+//	tables -jobs 4                 # four cells in flight
 //	tables -circuits ibm01,ibm02   # a subset
 //	tables -scale 1                # full-scale (paper-comparable, slow)
 //	tables -csv results.csv        # also dump raw outcomes
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ibm"
 	"repro/internal/report"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -31,10 +40,11 @@ func main() {
 	scale := flag.Int("scale", 4, "benchmark scale divisor (1 = full, paper-comparable)")
 	seed := flag.Int64("seed", 1, "benchmark generation seed")
 	csvPath := flag.String("csv", "", "also write raw outcomes to this CSV file")
-	workers := flag.Int("workers", 0, "engine workers for Phase I shards and Phase II/III solves (0 = one per CPU); results are identical at any setting")
+	jobs := flag.Int("jobs", 1, "flow cells run concurrently on the batch scheduler (0 = one per CPU); output is identical at any setting")
+	workers := flag.Int("workers", 0, "total engine-worker budget, split across concurrent cells (0 = one per CPU); results are identical at any setting")
 	flag.Parse()
 
-	set := report.NewSet()
+	var cells []sched.Cell
 	for _, name := range strings.Split(*circuits, ",") {
 		name = strings.TrimSpace(name)
 		profile, err := ibm.ProfileByName(name)
@@ -46,40 +56,70 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			// One design shared by the three flows of this (circuit, rate):
+			// flows are read-only on it, so concurrent cells can share.
 			design := &core.Design{Name: profile.Name, Nets: ckt.Nets, Grid: ckt.Grid, Rate: rate}
-			runner, err := core.NewRunner(design, core.Params{Workers: *workers})
-			if err != nil {
-				log.Fatal(err)
-			}
 			for _, f := range []core.Flow{core.FlowIDNO, core.FlowISINO, core.FlowGSINO} {
-				start := time.Now()
-				out, err := runner.Run(f)
-				if err != nil {
-					log.Fatal(err)
-				}
-				set.Add(out)
-				fmt.Fprintf(os.Stderr, "ran %s %s @%.0f%% in %s (%d violations, %d route shards, %d solves, %d refine waves, cache %.0f%% hit)\n",
-					name, f, rate*100, time.Since(start).Round(time.Millisecond),
-					out.Violations, out.Route.Shards, out.Engine.Jobs, out.Refine.Waves, out.Engine.HitRate()*100)
+				cells = append(cells, sched.Cell{Design: design, Flow: f, Params: core.Params{}})
 			}
 		}
 	}
 
+	set := report.NewSet()
+	cfg := sched.Config{
+		Jobs:    *jobs,
+		Workers: *workers,
+		OnResult: func(r sched.Result) {
+			if r.Err != nil {
+				return // reported once by FirstError below
+			}
+			o := r.Outcome
+			fmt.Fprintf(os.Stderr, "ran %s %s @%.0f%% in %s (%d violations, %d route shards, %d solves, %d refine waves) [cell %d/%d, %d workers, warm-start hit %.0f%%]\n",
+				o.Design, o.Flow, o.Rate*100, o.Runtime.Round(time.Millisecond),
+				o.Violations, o.Route.Shards, o.Engine.Jobs, o.Refine.Waves,
+				r.Index+1, len(cells), r.InnerWorkers, r.WarmHitRate()*100)
+			set.Add(o)
+		},
+	}
+	if *jobs != 1 {
+		cfg.OnStart = func(index, inFlight int) {
+			fmt.Fprintf(os.Stderr, "cell %d/%d start (%d in flight)\n", index+1, len(cells), inFlight)
+		}
+	}
+	results, err := sched.Run(context.Background(), cells, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sched.FirstError(results); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println()
-	set.Table1(os.Stdout)
+	if err := set.Table1(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	set.Table2(os.Stdout)
+	if err := set.Table2(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	set.Table3(os.Stdout)
+	if err := set.Table3(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	set.Deltas(os.Stdout)
+	if err := set.Deltas(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		set.CSV(f)
+		if err := set.CSV(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}

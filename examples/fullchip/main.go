@@ -49,9 +49,15 @@ func main() {
 	}
 
 	fmt.Println()
-	set.Table1(os.Stdout)
+	if err := set.Table1(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	set.Table2(os.Stdout)
+	if err := set.Table2(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	set.Table3(os.Stdout)
+	if err := set.Table3(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -79,6 +79,16 @@ type Params struct {
 	// worker per CPU. Results are bit-identical at every setting — this is
 	// purely a throughput knob.
 	Workers int
+
+	// Cache optionally injects a shared pair-coupling cache into the
+	// runner's engine; nil builds a private one sized for the model. Cache
+	// entries are pure functions of relative track geometry under one model
+	// configuration, so a cache may be shared by every runner of one
+	// technology — the batch scheduler (internal/sched) does exactly that,
+	// letting later cells start warm — and sharing never changes a result
+	// byte. The cache must have been sized for the model this runner derives
+	// from Tech (keff.NewPairCacheFor); see DESIGN.md §8.
+	Cache *keff.PairCache
 }
 
 func (p Params) withDefaults() Params {
@@ -219,7 +229,7 @@ func NewRunner(d *Design, p Params) (*Runner, error) {
 		model:    model,
 		budgeter: b,
 		sens:     d.Nets.Sensitivity,
-		eng:      engine.New(engine.Config{Workers: p.Workers, Model: model}),
+		eng:      engine.New(engine.Config{Workers: p.Workers, Model: model, Cache: p.Cache}),
 	}, nil
 }
 

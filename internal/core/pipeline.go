@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"sort"
 
 	"repro/internal/engine"
@@ -98,8 +99,12 @@ const (
 // across its regions in proportion to local congestion, so congested
 // regions receive loose bounds (few shields, which would not fit) and
 // quiet regions absorb the tight ones (shields are cheap there). The
-// redistribution preserves the net's total budget: Σ l_r·Kth_r stays at
-// the uniform partition's level.
+// redistribution preserves the net's total budget — Σ l_r·Kth_r stays at
+// the uniform partition's level — whenever the clamp band allows it: terms
+// pinned at the budgeter's floor or ceiling keep their clamped value and
+// the remaining terms renormalize to absorb the difference. Only when every
+// term pins (the uniform total itself lies outside the achievable band)
+// does the total saturate at the band edge.
 func (st *chipState) redistributeByCongestion() {
 	g := st.r.design.Grid
 	for net := range st.terms {
@@ -124,7 +129,43 @@ func (st *chipState) redistributeByCongestion() {
 		if weighted <= 0 {
 			continue
 		}
-		scale := uniformTotal / weighted
+		// Clamping individual terms breaks the naive proportional rescale,
+		// so solve for the preserving scale directly: s ↦ Σ l·Clamp(phi·s)
+		// is continuous and nondecreasing (phi > 0), ranging from the
+		// all-floor total at s = 0 to the all-ceiling total once s clears
+		// ceil/min(phi) — and the uniform total always lies in that range,
+		// because the uniform per-term bounds were themselves clamped into
+		// the band. Bisection is deterministic and immune to the mixed
+		// floor/ceiling pinning that defeats fixed-point rescaling when the
+		// band is narrow.
+		clampedTotal := func(s float64) float64 {
+			sum := 0.0
+			for i, t := range terms {
+				sum += float64(t.inst.lens[t.seg]) * st.r.budgeter.Clamp(phis[i]*s)
+			}
+			return sum
+		}
+		minPhi := phis[0]
+		for _, phi := range phis[1:] {
+			if phi < minPhi {
+				minPhi = phi
+			}
+		}
+		sLo, sHi := 0.0, st.r.budgeter.Clamp(math.Inf(1))/minPhi
+		scale := sHi
+		if clampedTotal(sLo) < uniformTotal && uniformTotal < clampedTotal(sHi) {
+			for iter := 0; iter < 64; iter++ {
+				mid := (sLo + sHi) / 2
+				if clampedTotal(mid) < uniformTotal {
+					sLo = mid
+				} else {
+					sHi = mid
+				}
+			}
+			scale = sHi
+		} else if clampedTotal(sLo) >= uniformTotal {
+			scale = sLo // target at or below the all-floor total: saturate low
+		}
 		for i, t := range terms {
 			t.inst.segs[t.seg].Kth = st.r.budgeter.Clamp(phis[i] * scale)
 		}

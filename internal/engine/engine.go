@@ -99,9 +99,12 @@ type Config struct {
 	// defers to the first job's instance model at first Run.
 	Model *keff.Model
 
-	// Cache is the shared pair-coupling cache. Nil allocates a fresh one.
-	// A cache is only valid for one model configuration; reuse across
-	// engines is allowed when their models match.
+	// Cache is the shared pair-coupling cache. Nil allocates a fresh one
+	// sized for the engine's model configuration — from Model when set,
+	// otherwise from the model the first Run resolves from its jobs. A
+	// cache is only valid for one model configuration; reuse across
+	// engines (and across batch-scheduler cells of one technology) is
+	// allowed when their models match.
 	Cache *keff.PairCache
 
 	// OnProgress, when non-nil, is called after every completed job with
@@ -151,7 +154,7 @@ func (s Stats) Sub(prev Stats) Stats {
 // phases.
 type Engine struct {
 	workers    int
-	cache      *keff.PairCache
+	cache      atomic.Pointer[keff.PairCache] // published by New or the first model-resolving Run
 	onProgress func(Progress)
 
 	runMu  sync.Mutex    // serializes Run calls
@@ -170,30 +173,34 @@ type Engine struct {
 	cacheBaseHits, cacheBaseMiss uint64
 }
 
-// New builds an engine from cfg.
+// New builds an engine from cfg. When neither Cache nor Model is given, the
+// cache is not allocated until the first Run resolves a model from its jobs
+// — sizing the dense tier for a default configuration and then serving a
+// model with a different background return would silently push every lookup
+// to the locked overflow tier.
 func New(cfg Config) *Engine {
 	w := cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	cache := cfg.Cache
-	if cache == nil {
-		if cfg.Model != nil {
-			cache = keff.NewPairCacheFor(cfg.Model)
-		} else {
-			cache = keff.NewPairCache()
-		}
+	e := &Engine{workers: w, onProgress: cfg.OnProgress}
+	if cfg.Cache != nil {
+		e.cacheBaseHits, e.cacheBaseMiss = cfg.Cache.Stats()
+		e.cache.Store(cfg.Cache)
 	}
-	e := &Engine{workers: w, cache: cache, onProgress: cfg.OnProgress}
-	e.cacheBaseHits, e.cacheBaseMiss = cache.Stats()
 	if cfg.Model != nil {
 		e.initModels(cfg.Model)
 	}
 	return e
 }
 
-// initModels clones the prototype once per worker.
+// initModels clones the prototype once per worker and, when no cache was
+// injected, sizes one from the now-resolved model configuration. A freshly
+// sized cache has zero counters, so the stats base stays zero.
 func (e *Engine) initModels(proto *keff.Model) {
+	if e.cache.Load() == nil {
+		e.cache.Store(keff.NewPairCacheFor(proto))
+	}
 	e.models = make([]*keff.Model, e.workers)
 	for i := range e.models {
 		e.models[i] = proto.Clone()
@@ -216,12 +223,17 @@ func (e *Engine) eval(w int) *sino.Eval {
 // Workers returns the pool bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// Cache returns the shared pair-coupling cache.
-func (e *Engine) Cache() *keff.PairCache { return e.cache }
+// Cache returns the shared pair-coupling cache, or nil when the engine was
+// built without a model or injected cache and has not yet run a solve batch
+// (the cache is sized from the first resolved model).
+func (e *Engine) Cache() *keff.PairCache { return e.cache.Load() }
 
 // Stats returns a snapshot of the cumulative counters.
 func (e *Engine) Stats() Stats {
-	hits, miss := e.cache.Stats()
+	var hits, miss uint64
+	if c := e.cache.Load(); c != nil {
+		hits, miss = c.Stats()
+	}
 	return Stats{
 		Workers:   e.workers,
 		Jobs:      e.jobs.Load(),
@@ -457,7 +469,7 @@ func (e *Engine) solveJob(job *Job, model *keff.Model, ev *sino.Eval) (res Resul
 	// never races with the caller's view of the instance.
 	inst := *job.Inst
 	inst.Model = model
-	inst.Cache = e.cache
+	inst.Cache = e.cache.Load()
 
 	switch job.Mode {
 	case ModeSolve:

@@ -193,6 +193,88 @@ func TestStatsAndProgress(t *testing.T) {
 	}
 }
 
+// makeJobsFor is makeJobs with a caller-supplied model: wide unshielded
+// instances whose mid-track return distances reach the model's background
+// return, stressing the cache's dense-tier bounds.
+func makeJobsFor(n int, model *keff.Model) []Job {
+	sens := netlist.NewHashSensitivity(7, 0.6, 200)
+	jobs := make([]Job, n)
+	for i := range jobs {
+		// At most 28 tracks: every pair separation stays within the
+		// model-sized dense tier's separation bound for bg=14 (27).
+		size := 20 + (i*5)%8
+		segs := make([]sino.Seg, size)
+		for s := range segs {
+			// Loose bounds keep the solver from inserting shields, so
+			// lookups exercise return distances all the way out to the
+			// background cap.
+			segs[s] = sino.Seg{Net: (i*31 + s) % 200, Kth: 4, Rate: 0.6}
+		}
+		jobs[i] = Job{
+			Inst: &sino.Instance{Segs: segs, Sensitive: sens.Sensitive, Model: model},
+			Mode: ModeSolve,
+		}
+	}
+	return jobs
+}
+
+// TestAutoCacheSizedFromResolvedModel is the regression test for the
+// nil-model construction path: an engine built with neither Model nor Cache
+// used to allocate a default-sized cache immediately and keep it after the
+// first job's model defined the real configuration. With a non-default
+// background return (here 14 > the default sizing's 12), every geometry
+// whose return distance exceeded the default bound fell to the locked
+// overflow tier forever. The cache must instead be sized from the resolved
+// model: all traffic lands in the dense tier.
+func TestAutoCacheSizedFromResolvedModel(t *testing.T) {
+	model := keff.NewModel(tech.Default())
+	model.BackgroundReturn = 14 // non-default, still within dense sizing caps
+
+	e := New(Config{Workers: 2}) // no Model, no Cache: sizing must defer
+	if e.Cache() != nil {
+		t.Fatal("engine allocated a cache before any model was resolved")
+	}
+	res, err := e.Run(context.Background(), makeJobsFor(6, model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(res); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Cache()
+	if c == nil {
+		t.Fatal("no cache after a model-resolving Run")
+	}
+	wantSep, wantRet := keff.NewPairCacheFor(model).DenseBounds()
+	if sep, ret := c.DenseBounds(); sep != wantSep || ret != wantRet {
+		t.Errorf("auto cache dense bounds = (%d, %d), want model-sized (%d, %d)", sep, ret, wantSep, wantRet)
+	}
+	if c.DenseLen() == 0 {
+		t.Error("no dense-tier entries after solving wide instances")
+	}
+	if n := c.OverflowLen(); n != 0 {
+		t.Errorf("%d geometries fell to the locked overflow tier; model-sized dense tier should cover all of them", n)
+	}
+	if st := e.Stats(); st.CacheHits == 0 {
+		t.Errorf("no cache hits recorded: %+v", st)
+	}
+
+	// The old behavior (default-sized cache, return bound 12) demonstrably
+	// overflows on the same workload — this guards the test's own power.
+	undersized := keff.NewPairCache()
+	e2 := New(Config{Workers: 2, Cache: undersized})
+	res, err = e2.Run(context.Background(), makeJobsFor(6, model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(res); err != nil {
+		t.Fatal(err)
+	}
+	if undersized.OverflowLen() == 0 {
+		t.Error("default-sized cache did not overflow on bg=14 geometry; workload no longer exercises the bug")
+	}
+}
+
 func TestCacheIsolationBetweenEngines(t *testing.T) {
 	shared := keff.NewPairCache()
 	e1 := New(Config{Workers: 2, Cache: shared})

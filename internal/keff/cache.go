@@ -198,14 +198,30 @@ func (c *PairCache) HitRate() float64 {
 	return float64(h) / float64(h+m)
 }
 
-// Len returns the number of distinct geometries cached.
+// Len returns the number of distinct geometries cached across both tiers.
 func (c *PairCache) Len() int {
+	return c.DenseLen() + c.OverflowLen()
+}
+
+// DenseLen returns the number of geometries cached in the lock-free dense
+// tier. With a cache correctly sized for its model (NewPairCacheFor),
+// every in-cutoff geometry lands here.
+func (c *PairCache) DenseLen() int {
 	n := 0
 	for i := range c.dense {
 		if c.dense[i].Load() != 0 {
 			n++
 		}
 	}
+	return n
+}
+
+// OverflowLen returns the number of geometries that fell to the locked
+// overflow maps — geometries outside the dense tier's bounds. A nonzero
+// overflow under a bounded background return indicates the cache was sized
+// for a different model configuration.
+func (c *PairCache) OverflowLen() int {
+	n := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.RLock()
@@ -213,6 +229,13 @@ func (c *PairCache) Len() int {
 		s.mu.RUnlock()
 	}
 	return n
+}
+
+// DenseBounds returns the dense tier's coverage: the largest track
+// separation and the largest per-side return distance it caches without
+// falling to the overflow tier. Both are 0 when the dense tier is disabled.
+func (c *PairCache) DenseBounds() (sep, ret int) {
+	return c.dMax, c.sMax
 }
 
 // Clone returns an independent copy of the model: same configuration,

@@ -1,6 +1,14 @@
 // Package report renders the paper's evaluation tables from flow outcomes
 // and compares them against the numbers published in the paper (Tables 1–3
 // of Ma & He, DAC'02).
+//
+// A Set is safe for concurrent Add — the batch scheduler (internal/sched)
+// streams outcomes into one Set from many cells — and every renderer
+// iterates cells in sorted (circuit, rate, flow) order, so the output is
+// independent of insertion order and therefore of how a batch was
+// scheduled. All writers return the first error the underlying io.Writer
+// reported: table output redirected to a full disk fails loudly, not by
+// silent truncation.
 package report
 
 import (
@@ -8,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -18,8 +27,11 @@ type Key struct {
 	Rate    float64
 }
 
-// Set collects outcomes by (circuit, rate, flow).
+// Set collects outcomes by (circuit, rate, flow). The zero Set is not
+// usable; call NewSet. Add, Get, and the renderers may be called
+// concurrently.
 type Set struct {
+	mu       sync.RWMutex
 	outcomes map[Key]map[core.Flow]*core.Outcome
 }
 
@@ -28,9 +40,12 @@ func NewSet() *Set {
 	return &Set{outcomes: make(map[Key]map[core.Flow]*core.Outcome)}
 }
 
-// Add records an outcome.
+// Add records an outcome. It is safe for concurrent use; rendered output
+// does not depend on the order outcomes arrived in.
 func (s *Set) Add(o *core.Outcome) {
 	k := Key{Circuit: o.Design, Rate: o.Rate}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.outcomes[k] == nil {
 		s.outcomes[k] = make(map[core.Flow]*core.Outcome)
 	}
@@ -39,15 +54,19 @@ func (s *Set) Add(o *core.Outcome) {
 
 // Get returns the outcome for a cell and flow, or nil.
 func (s *Set) Get(circuit string, rate float64, f core.Flow) *core.Outcome {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.outcomes[Key{Circuit: circuit, Rate: rate}][f]
 }
 
 // keys returns the cells sorted by circuit then rate.
 func (s *Set) keys() []Key {
+	s.mu.RLock()
 	out := make([]Key, 0, len(s.outcomes))
 	for k := range s.outcomes {
 		out = append(out, k)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Circuit != out[b].Circuit {
 			return out[a].Circuit < out[b].Circuit
@@ -68,6 +87,26 @@ func (s *Set) circuits() []string {
 		}
 	}
 	return out
+}
+
+// errWriter forwards writes to w until the first failure, then swallows the
+// rest and remembers that error — so renderers can print unconditionally
+// and report the failure once at the end.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	e.err = err
+	return len(p), nil
 }
 
 // PaperRow holds the published values for one circuit (used for
@@ -101,10 +140,11 @@ func paperPct(v float64) string {
 }
 
 // Table1 renders the crosstalk-violation table (ID+NO flow) with the
-// paper's numbers alongside.
-func (s *Set) Table1(w io.Writer) {
-	fmt.Fprintln(w, "Table 1: crosstalk-violating nets in ID+NO solutions")
-	fmt.Fprintf(w, "%-8s %6s | %12s %10s %10s | %12s %10s %10s\n",
+// paper's numbers alongside. It returns the first write error.
+func (s *Set) Table1(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "Table 1: crosstalk-violating nets in ID+NO solutions")
+	fmt.Fprintf(ew, "%-8s %6s | %12s %10s %10s | %12s %10s %10s\n",
 		"circuit", "nets", "viol@30%", "ours", "paper", "viol@50%", "ours", "paper")
 	paper := Paper()
 	for _, c := range s.circuits() {
@@ -125,16 +165,18 @@ func (s *Set) Table1(w io.Writer) {
 			v50 = fmt.Sprint(o50.Violations)
 			p50 = pct(o50.ViolationPct)
 		}
-		fmt.Fprintf(w, "%-8s %6s | %12s %10s %10s | %12s %10s %10s\n",
+		fmt.Fprintf(ew, "%-8s %6s | %12s %10s %10s | %12s %10s %10s\n",
 			c, nets, v30, p30, paperPct(row.Viol30Pct), v50, p50, paperPct(row.Viol50Pct))
 	}
+	return ew.err
 }
 
 // Table2 renders average wirelengths of ID+NO vs GSINO with overhead
-// percentages, paper alongside.
-func (s *Set) Table2(w io.Writer) {
-	fmt.Fprintln(w, "Table 2: average wirelength (um), ID+NO vs GSINO")
-	fmt.Fprintf(w, "%-8s | %9s %9s %9s %9s | %9s %9s %9s %9s\n",
+// percentages, paper alongside. It returns the first write error.
+func (s *Set) Table2(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "Table 2: average wirelength (um), ID+NO vs GSINO")
+	fmt.Fprintf(ew, "%-8s | %9s %9s %9s %9s | %9s %9s %9s %9s\n",
 		"circuit", "base@30", "gsino@30", "ours", "paper", "base@50", "gsino@50", "ours", "paper")
 	paper := Paper()
 	for _, c := range s.circuits() {
@@ -155,18 +197,20 @@ func (s *Set) Table2(w io.Writer) {
 			cols[6] = pct(g.WLOverheadPct(base))
 			cols[7] = paperPct(row.WLOverhead50)
 		}
-		fmt.Fprintf(w, "%-8s | %9s %9s %9s %9s | %9s %9s %9s %9s\n",
+		fmt.Fprintf(ew, "%-8s | %9s %9s %9s %9s | %9s %9s %9s %9s\n",
 			c, cols[0], cols[1], cols[2], cols[3], cols[4], cols[5], cols[6], cols[7])
 	}
+	return ew.err
 }
 
 // Table3 renders routing areas of the three flows with overheads versus
-// ID+NO, paper alongside.
-func (s *Set) Table3(w io.Writer) {
+// ID+NO, paper alongside. It returns the first write error.
+func (s *Set) Table3(w io.Writer) error {
+	ew := &errWriter{w: w}
 	paper := Paper()
 	for _, rate := range []float64{0.3, 0.5} {
-		fmt.Fprintf(w, "Table 3 (sensitivity %.0f%%): routing area, overhead vs ID+NO\n", rate*100)
-		fmt.Fprintf(w, "%-8s | %15s | %15s %8s %8s | %15s %8s %8s\n",
+		fmt.Fprintf(ew, "Table 3 (sensitivity %.0f%%): routing area, overhead vs ID+NO\n", rate*100)
+		fmt.Fprintf(ew, "%-8s | %15s | %15s %8s %8s | %15s %8s %8s\n",
 			"circuit", "ID+NO", "iSINO", "ours", "paper", "GSINO", "ours", "paper")
 		for _, c := range s.circuits() {
 			base := s.Get(c, rate, core.FlowIDNO)
@@ -187,17 +231,20 @@ func (s *Set) Table3(w io.Writer) {
 			if gs != nil {
 				gsArea, gsPct = gs.Area.String(), pct(gs.AreaOverheadPct(base))
 			}
-			fmt.Fprintf(w, "%-8s | %15s | %15s %8s %8s | %15s %8s %8s\n",
+			fmt.Fprintf(ew, "%-8s | %15s | %15s %8s %8s | %15s %8s %8s\n",
 				c, base.Area.String(), isArea, isPct, paperPct(pISINO), gsArea, gsPct, paperPct(pGSINO))
 		}
 	}
+	return ew.err
 }
 
 // Deltas renders the paper's §4 closing observation: the reduction in GSINO
-// overheads when the sensitivity rate drops from 50% to 30%.
-func (s *Set) Deltas(w io.Writer) {
-	fmt.Fprintln(w, "Sensitivity 50% -> 30%: reduction of GSINO overheads (paper: ~26% WL, ~20% area)")
-	fmt.Fprintf(w, "%-8s %14s %14s\n", "circuit", "WL-overhead", "area-overhead")
+// overheads when the sensitivity rate drops from 50% to 30%. It returns the
+// first write error.
+func (s *Set) Deltas(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "Sensitivity 50% -> 30%: reduction of GSINO overheads (paper: ~26% WL, ~20% area)")
+	fmt.Fprintf(ew, "%-8s %14s %14s\n", "circuit", "WL-overhead", "area-overhead")
 	for _, c := range s.circuits() {
 		b30, g30 := s.Get(c, 0.3, core.FlowIDNO), s.Get(c, 0.3, core.FlowGSINO)
 		b50, g50 := s.Get(c, 0.5, core.FlowIDNO), s.Get(c, 0.5, core.FlowGSINO)
@@ -213,38 +260,46 @@ func (s *Set) Deltas(w io.Writer) {
 		if ar50 > 0 {
 			arRed = pct((ar50 - ar30) / ar50 * 100)
 		}
-		fmt.Fprintf(w, "%-8s %14s %14s\n", c, wlRed, arRed)
+		fmt.Fprintf(ew, "%-8s %14s %14s\n", c, wlRed, arRed)
 	}
+	return ew.err
 }
 
-// CSV emits every outcome as comma-separated rows for external analysis.
-func (s *Set) CSV(w io.Writer) {
-	fmt.Fprintln(w, "circuit,rate,flow,nets,violations,violation_pct,avg_wl_um,total_wl_um,area_w_um,area_h_um,shields,seg_tracks,runtime_ms")
+// CSV emits every outcome as comma-separated rows for external analysis and
+// returns the first write error. Every column is a deterministic function
+// of the design and parameters — wall-clock timing is deliberately absent,
+// so CSV bytes are identical however a batch was scheduled (timings go to
+// the scheduler's stderr counters instead).
+func (s *Set) CSV(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "circuit,rate,flow,nets,violations,violation_pct,avg_wl_um,total_wl_um,area_w_um,area_h_um,shields,seg_tracks")
 	for _, k := range s.keys() {
-		flows := s.outcomes[k]
 		for _, f := range []core.Flow{core.FlowIDNO, core.FlowISINO, core.FlowGSINO} {
-			o, ok := flows[f]
-			if !ok {
+			o := s.Get(k.Circuit, k.Rate, f)
+			if o == nil {
 				continue
 			}
-			fmt.Fprintf(w, "%s,%.2f,%s,%d,%d,%.4f,%.1f,%.1f,%.1f,%.1f,%d,%d,%d\n",
+			fmt.Fprintf(ew, "%s,%.2f,%s,%d,%d,%.4f,%.1f,%.1f,%.1f,%.1f,%d,%d\n",
 				k.Circuit, k.Rate, o.Flow, o.TotalNets, o.Violations, o.ViolationPct,
 				float64(o.AvgWL), float64(o.TotalWL), float64(o.Area.W), float64(o.Area.H),
-				o.Shields, o.SegTracks, o.Runtime.Milliseconds())
+				o.Shields, o.SegTracks)
 		}
 	}
+	return ew.err
 }
 
-// Summary renders a one-line digest per cell.
-func (s *Set) Summary(w io.Writer) {
+// Summary renders a one-line digest per cell and returns the first write
+// error.
+func (s *Set) Summary(w io.Writer) error {
+	ew := &errWriter{w: w}
 	for _, k := range s.keys() {
-		flows := s.outcomes[k]
 		var parts []string
 		for _, f := range []core.Flow{core.FlowIDNO, core.FlowISINO, core.FlowGSINO} {
-			if o, ok := flows[f]; ok {
+			if o := s.Get(k.Circuit, k.Rate, f); o != nil {
 				parts = append(parts, fmt.Sprintf("%s: %d viol, %.0fum, %s", f, o.Violations, float64(o.AvgWL), o.Area))
 			}
 		}
-		fmt.Fprintf(w, "%s @%.0f%%: %s\n", k.Circuit, k.Rate*100, strings.Join(parts, " | "))
+		fmt.Fprintf(ew, "%s @%.0f%%: %s\n", k.Circuit, k.Rate*100, strings.Join(parts, " | "))
 	}
+	return ew.err
 }

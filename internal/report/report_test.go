@@ -1,7 +1,10 @@
 package report
 
 import (
+	"errors"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -73,7 +76,9 @@ func TestTablesRender(t *testing.T) {
 func TestCSV(t *testing.T) {
 	s := populated()
 	var b strings.Builder
-	s.CSV(&b)
+	if err := s.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
 	// Header + 2 rates x 3 flows.
 	if len(lines) != 7 {
@@ -82,9 +87,109 @@ func TestCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "circuit,rate,flow") {
 		t.Errorf("CSV header = %q", lines[0])
 	}
+	if strings.Contains(lines[0], "runtime") {
+		t.Errorf("CSV header carries a wall-clock column, breaking batch determinism: %q", lines[0])
+	}
+	wantCommas := strings.Count(lines[0], ",")
 	for _, l := range lines[1:] {
-		if got := strings.Count(l, ","); got != 12 {
-			t.Errorf("CSV row has %d commas, want 12: %q", got, l)
+		if got := strings.Count(l, ","); got != wantCommas {
+			t.Errorf("CSV row has %d commas, want %d: %q", got, wantCommas, l)
+		}
+	}
+}
+
+// failingWriter fails every write after the first n bytes.
+type failingWriter struct {
+	n       int
+	written int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		keep := f.n - f.written
+		if keep < 0 {
+			keep = 0
+		}
+		f.written += keep
+		return keep, errDiskFull
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+var errDiskFull = errors.New("disk full")
+
+// TestWriterErrorsSurface pins the satellite fix: a writer that fails
+// mid-render (full disk) must surface its error from every renderer instead
+// of silently truncating the output.
+func TestWriterErrorsSurface(t *testing.T) {
+	s := populated()
+	renderers := map[string]func(io.Writer) error{
+		"Table1":  s.Table1,
+		"Table2":  s.Table2,
+		"Table3":  s.Table3,
+		"Deltas":  s.Deltas,
+		"CSV":     s.CSV,
+		"Summary": s.Summary,
+	}
+	for name, render := range renderers {
+		if err := render(&failingWriter{n: 30}); !errors.Is(err, errDiskFull) {
+			t.Errorf("%s on a failing writer returned %v, want disk-full error", name, err)
+		}
+		if err := render(io.Discard); err != nil {
+			t.Errorf("%s on a working writer returned %v", name, err)
+		}
+	}
+}
+
+// TestSetConcurrentAdd exercises the scheduler's usage: many goroutines
+// Add outcomes while others render. Run under -race this pins Set's
+// concurrency safety; the final render must also contain every cell,
+// whatever order the adds landed in.
+func TestSetConcurrentAdd(t *testing.T) {
+	s := NewSet()
+	circuits := []string{"ibm01", "ibm02", "ibm03", "ibm04"}
+	var wg sync.WaitGroup
+	for ci, c := range circuits {
+		for _, rate := range []float64{0.3, 0.5} {
+			for fi, f := range []core.Flow{core.FlowIDNO, core.FlowISINO, core.FlowGSINO} {
+				c, rate, f := c, rate, f
+				viol, wl := 100+10*ci+fi, 640000+1000*float64(ci)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					s.Add(outcome(c, rate, f, viol, wl, 1533, 1824))
+				}()
+			}
+		}
+	}
+	// Render concurrently with the adds: must be race-free (content is
+	// whatever subset has landed).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var b strings.Builder
+		if err := s.Table1(&b); err != nil {
+			t.Errorf("concurrent Table1: %v", err)
+		}
+		if err := s.CSV(&b); err != nil {
+			t.Errorf("concurrent CSV: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	var b strings.Builder
+	if err := s.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	want := 1 + len(circuits)*2*3
+	if len(lines) != want {
+		t.Fatalf("CSV after concurrent adds has %d lines, want %d", len(lines), want)
+	}
+	for _, c := range circuits {
+		if s.Get(c, 0.3, core.FlowGSINO) == nil {
+			t.Errorf("missing outcome for %s after concurrent adds", c)
 		}
 	}
 }

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// benchCells builds the benchmark evaluation grid: two circuits × two
+// rates × three flows on scaled IBM fixtures — the cmd/tables workload in
+// miniature.
+func benchCells(tb testing.TB) []Cell {
+	return evalGrid(
+		ibmDesign(tb, "ibm01", 0.3, 16),
+		ibmDesign(tb, "ibm01", 0.5, 16),
+		ibmDesign(tb, "ibm02", 0.3, 16),
+		ibmDesign(tb, "ibm02", 0.5, 16),
+	)
+}
+
+func runBatch(tb testing.TB, cells []Cell, jobs int) []Result {
+	results, err := Run(context.Background(), cells, Config{Jobs: jobs})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		tb.Fatal(err)
+	}
+	return results
+}
+
+// BenchmarkBatch measures the full evaluation grid on the batch scheduler
+// across jobs settings. jobs1 is the serial path; on a multi-core machine
+// the higher settings should approach linear speedup (cells are
+// independent; the shared per-technology cache is read-mostly). The
+// reported warm-start hit rate of the last cell shows the cross-cell cache
+// carryover.
+func BenchmarkBatch(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	cells := benchCells(b)
+	for _, jobs := range counts {
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			var results []Result
+			for i := 0; i < b.N; i++ {
+				results = runBatch(b, cells, jobs)
+			}
+			last := results[len(results)-1]
+			b.ReportMetric(float64(len(cells)), "cells")
+			b.ReportMetric(last.WarmHitRate()*100, "warmhit%")
+		})
+	}
+}
+
+// BenchmarkBatchCacheAblation isolates the shared per-technology cache:
+// the same serial batch run once with every cell on one shared cache and
+// once with a private cache per cell. The private arm varies only
+// Technology.Name per cell — the name enters the scheduler's cache key but
+// no physics — so outcomes are identical and the delta is pure cache
+// carryover.
+func BenchmarkBatchCacheAblation(b *testing.B) {
+	shared := benchCells(b)
+	private := benchCells(b)
+	for i := range private {
+		t := *tech.Default()
+		t.Name = fmt.Sprintf("%s-cell%d", t.Name, i)
+		private[i].Params.Tech = &t
+	}
+	for _, arm := range []struct {
+		name  string
+		cells []Cell
+	}{{"shared", shared}, {"private", private}} {
+		b.Run(arm.name, func(b *testing.B) {
+			var results []Result
+			for i := 0; i < b.N; i++ {
+				results = runBatch(b, arm.cells, 1)
+			}
+			b.ReportMetric(results[len(results)-1].WarmHitRate()*100, "warmhit%")
+		})
+	}
+}
+
+// batchBenchJSON enables the machine-readable batch bench smoke:
+//
+//	go test ./internal/sched -run TestBatchBenchJSON -benchjson BENCH_batch.json
+//
+// It runs the batched evaluation grid through testing.Benchmark (honoring
+// -benchtime) at the serial and batched settings and writes their ns/op,
+// so CI and EXPERIMENTS.md track cross-chip batching's perf trajectory
+// without scraping bench output.
+var batchBenchJSON = flag.String("benchjson", "", "write batch scheduler benchmark ns/op to this JSON file")
+
+// batchReport is the BENCH_batch.json schema.
+type batchReport struct {
+	Unit       string           `json:"unit"` // always "ns/op"
+	Benchmarks map[string]int64 `json:"benchmarks"`
+}
+
+func TestBatchBenchJSON(t *testing.T) {
+	if *batchBenchJSON == "" {
+		t.Skip("bench smoke disabled; enable with -benchjson <path>")
+	}
+	cells := benchCells(t)
+	report := batchReport{Unit: "ns/op", Benchmarks: map[string]int64{}}
+	for _, jobs := range []int{1, 4} {
+		jobs := jobs
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runBatch(b, cells, jobs)
+			}
+		})
+		report.Benchmarks[fmt.Sprintf("grid12/jobs%d", jobs)] = res.NsPerOp()
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*batchBenchJSON, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d benchmark entries to %s", len(report.Benchmarks), *batchBenchJSON)
+}

@@ -1,0 +1,314 @@
+package sched
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/ibm"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/tech"
+)
+
+// randomDesign builds a compact random design, mirroring the core test
+// fixtures.
+func randomDesign(tb testing.TB, nNets int, rate float64, seed int64) *core.Design {
+	tb.Helper()
+	g, err := grid.New(8, 8, 100, 100, 14, 14)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	clamp := func(v float64) geom.Micron {
+		if v < 0 {
+			v = 0
+		}
+		if v > 799 {
+			v = 799
+		}
+		return geom.Micron(v)
+	}
+	nets := make([]netlist.Net, nNets)
+	for i := range nets {
+		np := 2 + rng.Intn(3)
+		pins := make([]netlist.Pin, np)
+		cx, cy := rng.Float64()*800, rng.Float64()*800
+		for j := range pins {
+			pins[j] = netlist.Pin{Loc: geom.MicronPoint{
+				X: clamp(cx + rng.NormFloat64()*150),
+				Y: clamp(cy + rng.NormFloat64()*150),
+			}}
+		}
+		nets[i] = netlist.Net{ID: i, Pins: pins}
+	}
+	return &core.Design{
+		Name: "sched-rand",
+		Nets: &netlist.Netlist{Nets: nets, Sensitivity: netlist.NewHashSensitivity(uint64(seed), rate, nNets)},
+		Grid: g,
+		Rate: rate,
+	}
+}
+
+// ibmDesign generates a scaled IBM circuit — the full-chip path with real
+// Phase III refinement pressure.
+func ibmDesign(tb testing.TB, name string, rate float64, scale int) *core.Design {
+	tb.Helper()
+	profile, err := ibm.ProfileByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ckt, err := ibm.Generate(profile, ibm.Options{Seed: 1, Scale: scale, SensRate: rate})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &core.Design{Name: profile.Name, Nets: ckt.Nets, Grid: ckt.Grid, Rate: rate}
+}
+
+// evalGrid builds the evaluation-grid cell list over the given designs:
+// three flows per design, in (design, flow) order — the same shape
+// cmd/tables schedules.
+func evalGrid(designs ...*core.Design) []Cell {
+	var cells []Cell
+	for _, d := range designs {
+		for _, f := range []core.Flow{core.FlowIDNO, core.FlowISINO, core.FlowGSINO} {
+			cells = append(cells, Cell{Design: d, Flow: f})
+		}
+	}
+	return cells
+}
+
+// renderBatch runs the cells at the given jobs/workers setting and renders
+// the full report — all four tables plus CSV — from the outcomes.
+func renderBatch(t *testing.T, cells []Cell, jobs, workers int) string {
+	t.Helper()
+	results, err := Run(context.Background(), cells, Config{Jobs: jobs, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	set := report.NewSet()
+	for _, r := range results {
+		set.Add(r.Outcome)
+	}
+	var b strings.Builder
+	if err := set.Table1(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Table2(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Table3(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Deltas(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestBatchDeterminism is the scheduler's half of the acceptance contract:
+// batched output — all four tables plus CSV bytes — is identical for
+// jobs ∈ {1, 4, 8}, with the worker budget splitting differently at each
+// setting. The ibm design runs the full-chip path where scheduling-order
+// bugs would surface.
+func TestBatchDeterminism(t *testing.T) {
+	cells := evalGrid(
+		randomDesign(t, 70, 0.3, 5),
+		randomDesign(t, 70, 0.5, 11),
+		ibmDesign(t, "ibm01", 0.5, 16),
+	)
+	serial := renderBatch(t, cells, 1, 1)
+	for _, jobs := range []int{4, 8} {
+		if got := renderBatch(t, cells, jobs, 8); got != serial {
+			t.Errorf("jobs=%d report differs from serial:\n--- jobs=1 ---\n%s\n--- jobs=%d ---\n%s", jobs, serial, jobs, got)
+		}
+	}
+}
+
+// TestResultStreamingOrder pins OnResult's contract: strict cell order,
+// exactly once per cell, however many cells run concurrently.
+func TestResultStreamingOrder(t *testing.T) {
+	cells := evalGrid(randomDesign(t, 50, 0.4, 7), randomDesign(t, 50, 0.4, 9))
+	var mu sync.Mutex
+	var order []int
+	starts := 0
+	results, err := Run(context.Background(), cells, Config{
+		Jobs: 4,
+		OnStart: func(index, inFlight int) {
+			mu.Lock()
+			starts++
+			if inFlight < 1 || inFlight > 4 {
+				t.Errorf("inFlight = %d with 4 jobs", inFlight)
+			}
+			mu.Unlock()
+		},
+		OnResult: func(r Result) {
+			order = append(order, r.Index) // serialized by contract
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if starts != len(cells) {
+		t.Errorf("OnStart fired %d times, want %d", starts, len(cells))
+	}
+	if len(order) != len(cells) {
+		t.Fatalf("OnResult fired %d times, want %d", len(order), len(cells))
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("OnResult order %v: position %d has cell %d", order, i, idx)
+		}
+	}
+	for i, r := range results {
+		if r.Index != i || r.Outcome == nil {
+			t.Errorf("results[%d] = {Index: %d, Outcome: %v}", i, r.Index, r.Outcome)
+		}
+	}
+}
+
+// TestSharedCacheCarryover shows the point of the shared per-technology
+// cache: cell N>1 starts with a nonzero hit rate inherited from earlier
+// cells, while a cell of a different technology starts cold on its own
+// cache.
+func TestSharedCacheCarryover(t *testing.T) {
+	d := randomDesign(t, 60, 0.5, 3)
+	otherTech := tech.Default()
+	otherTech.WireSpacing *= 1.5 // different geometry → different cache
+	cells := []Cell{
+		{Design: d, Flow: core.FlowGSINO},
+		{Design: d, Flow: core.FlowGSINO},
+		{Design: d, Flow: core.FlowGSINO, Params: core.Params{Tech: otherTech}},
+	}
+	results, err := Run(context.Background(), cells, Config{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if results[0].WarmHits != 0 || results[0].WarmMisses != 0 {
+		t.Errorf("first cell started warm: %d hits, %d misses", results[0].WarmHits, results[0].WarmMisses)
+	}
+	if results[1].WarmHits == 0 {
+		t.Error("second cell of the same technology started cold; cache carryover broken")
+	}
+	if rate := results[1].WarmHitRate(); rate <= 0 {
+		t.Errorf("second cell warm hit rate = %v, want > 0", rate)
+	}
+	if results[2].WarmHits != 0 || results[2].WarmMisses != 0 {
+		t.Errorf("different-technology cell inherited a cache: %d hits, %d misses", results[2].WarmHits, results[2].WarmMisses)
+	}
+	// Warm carryover is real work saved: the second cell's own traffic must
+	// hit at a higher rate than the cold first cell's.
+	first, second := results[0].Outcome.Engine, results[1].Outcome.Engine
+	if first.HitRate() >= second.HitRate() {
+		t.Errorf("warm cell hit rate %.3f not above cold cell's %.3f", second.HitRate(), first.HitRate())
+	}
+}
+
+// TestPerCellErrors: a failing cell must not stop the batch, and its error
+// must carry the cell index.
+func TestPerCellErrors(t *testing.T) {
+	good := randomDesign(t, 40, 0.3, 2)
+	cells := []Cell{
+		{Design: good, Flow: core.FlowIDNO},
+		{Design: nil, Flow: core.FlowIDNO},                     // no design
+		{Design: good, Flow: core.Flow("bogus")},               // unknown flow
+		{Design: &core.Design{Name: "x"}, Flow: core.FlowIDNO}, // incomplete design
+		{Design: good, Flow: core.FlowGSINO},
+	}
+	results, err := Run(context.Background(), cells, Config{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wantErr := range []bool{false, true, true, true, false} {
+		if (results[i].Err != nil) != wantErr {
+			t.Errorf("cell %d: err = %v, want error: %v", i, results[i].Err, wantErr)
+		}
+	}
+	if err := FirstError(results); err == nil || !strings.Contains(err.Error(), "cell 1") {
+		t.Errorf("FirstError = %v, want cell 1's", err)
+	}
+}
+
+// TestCancelledContext: a cancelled batch reports the context error and
+// marks unstarted cells with it.
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cells := evalGrid(randomDesign(t, 40, 0.3, 2))
+	results, err := Run(ctx, cells, Config{Jobs: 2})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("cell %d carries no error after cancellation", i)
+		}
+	}
+}
+
+// TestSplitWorkers pins the worker-budget split: every runner gets at least
+// one worker, and the budget divides evenly across concurrent cells.
+func TestSplitWorkers(t *testing.T) {
+	cases := []struct{ total, jobs, want int }{
+		{8, 1, 8},
+		{8, 2, 4},
+		{8, 3, 2},
+		{8, 8, 1},
+		{2, 8, 1},
+		{1, 1, 1},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := splitWorkers(c.total, c.jobs); got != c.want {
+			t.Errorf("splitWorkers(%d, %d) = %d, want %d", c.total, c.jobs, got, c.want)
+		}
+	}
+}
+
+// TestExplicitCellWorkersRespected: a cell carrying its own Params.Workers
+// keeps it instead of the scheduler's split.
+func TestExplicitCellWorkersRespected(t *testing.T) {
+	d := randomDesign(t, 40, 0.3, 2)
+	cells := []Cell{
+		{Design: d, Flow: core.FlowIDNO, Params: core.Params{Workers: 3}},
+		{Design: d, Flow: core.FlowIDNO},
+	}
+	results, err := Run(context.Background(), cells, Config{Jobs: 2, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if results[0].InnerWorkers != 3 {
+		t.Errorf("explicit cell got %d workers, want its own 3", results[0].InnerWorkers)
+	}
+	if results[1].InnerWorkers != 4 {
+		t.Errorf("default cell got %d workers, want split 4", results[1].InnerWorkers)
+	}
+}
+
+// TestEmptyBatch: no cells is a no-op, not a hang.
+func TestEmptyBatch(t *testing.T) {
+	results, err := Run(context.Background(), nil, Config{})
+	if err != nil || len(results) != 0 {
+		t.Errorf("empty batch: results=%v err=%v", results, err)
+	}
+}
