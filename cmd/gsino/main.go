@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ibm"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,7 +30,21 @@ func main() {
 	verbose := flag.Bool("v", false, "print congestion and engine statistics per flow")
 	congBudget := flag.Bool("congestion-budget", false, "use congestion-weighted crosstalk budgeting in GSINO (paper §5 future work)")
 	workers := flag.Int("workers", 0, "engine workers for Phase I shards and Phase II/III solves (0 = one per CPU); results are identical at any setting")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run (chrome://tracing, Perfetto); results are identical with or without")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.New()
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pprof listening on http://%s/debug/pprof/", addr)
+	}
 
 	profile, err := ibm.ProfileByName(*circuit)
 	if err != nil {
@@ -45,7 +60,7 @@ func main() {
 		Grid: ckt.Grid,
 		Rate: *rate,
 	}
-	runner, err := core.NewRunner(design, core.Params{VThreshold: *vth, CongestionBudgeting: *congBudget, Workers: *workers})
+	runner, err := core.NewRunner(design, core.Params{VThreshold: *vth, CongestionBudgeting: *congBudget, Workers: *workers, Trace: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,24 +88,20 @@ func main() {
 		fmt.Printf("%-7s %10d %7.2f%% %10.1f %14s %9s %8d %9s\n",
 			out.Flow, out.Violations, out.ViolationPct, float64(out.AvgWL),
 			out.Area.String(), areaPct, out.Shields, out.Runtime.Round(1e6))
+		snap := out.Snapshot()
+		obs.PublishSnapshot(snap)
 		if *verbose {
-			c := out.Congestion
-			fmt.Printf("        density avg H/V %.2f/%.2f, max %.2f/%.2f, overflowed regions %d/%d, segs %d\n",
-				c.AvgHDensity, c.AvgVDensity, c.MaxH, c.MaxV, c.OverflowedH, c.OverflowedV, out.SegTracks)
-			e := out.Engine
-			fmt.Printf("        engine: %d workers, %d instances solved (%d tracks), %d tasks, coupling cache %.1f%% hit\n",
-				e.Workers, e.Jobs, e.Tracks, e.Tasks, e.HitRate()*100)
-			r := out.Route
-			fmt.Printf("        phase I: %d routing shards (largest %d nets), %d nets reconciled in %d rounds\n",
-				r.Shards, r.LargestShard, r.Reconciled, r.ReconcileRounds)
-			if f == core.FlowGSINO {
-				p3 := out.Refine
-				fmt.Printf("        phase III: %d repair waves (largest %d nets, %d colors max), %d re-solves; pass 2: %d relaxed, %d accepted, %d reverted\n",
-					p3.Waves, p3.MaxWave, p3.MaxColors, out.Refinements, p3.Relaxed, p3.Accepted, p3.Reverted)
-			}
+			fmt.Print(snap.Detail("        "))
 		}
 		if f == core.FlowGSINO && out.Unfixable > 0 {
 			fmt.Printf("        (GSINO: %d violations unfixable at the K floor)\n", out.Unfixable)
 		}
+	}
+
+	if tracer != nil {
+		if err := tracer.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote trace to %s", *tracePath)
 	}
 }

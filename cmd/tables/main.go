@@ -16,6 +16,7 @@
 //	tables -circuits ibm01,ibm02   # a subset
 //	tables -scale 1                # full-scale (paper-comparable, slow)
 //	tables -csv results.csv        # also dump raw outcomes
+//	tables -jobs 4 -trace b.json   # Chrome trace of the batch (Perfetto)
 package main
 
 import (
@@ -25,10 +26,10 @@ import (
 	"log"
 	"os"
 	"strings"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/ibm"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sched"
 )
@@ -42,7 +43,21 @@ func main() {
 	csvPath := flag.String("csv", "", "also write raw outcomes to this CSV file")
 	jobs := flag.Int("jobs", 1, "flow cells run concurrently on the batch scheduler (0 = one per CPU); output is identical at any setting")
 	workers := flag.Int("workers", 0, "total engine-worker budget, split across concurrent cells (0 = one per CPU); results are identical at any setting")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the batch (chrome://tracing, Perfetto); output is identical with or without")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.New()
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pprof listening on http://%s/debug/pprof/", addr)
+	}
 
 	var cells []sched.Cell
 	for _, name := range strings.Split(*circuits, ",") {
@@ -65,25 +80,29 @@ func main() {
 		}
 	}
 
+	// All progress lines go through one Console: OnStart fires concurrently
+	// from runner goroutines while the emitter serializes OnResult, so raw
+	// Fprintf calls on os.Stderr could tear mid-line. The Console makes each
+	// line one atomic write.
+	console := obs.NewConsole(os.Stderr)
 	set := report.NewSet()
 	cfg := sched.Config{
 		Jobs:    *jobs,
 		Workers: *workers,
+		Trace:   tracer,
 		OnResult: func(r sched.Result) {
 			if r.Err != nil {
 				return // reported once by FirstError below
 			}
-			o := r.Outcome
-			fmt.Fprintf(os.Stderr, "ran %s %s @%.0f%% in %s (%d violations, %d route shards, %d solves, %d refine waves) [cell %d/%d, %d workers, warm-start hit %.0f%%]\n",
-				o.Design, o.Flow, o.Rate*100, o.Runtime.Round(time.Millisecond),
-				o.Violations, o.Route.Shards, o.Engine.Jobs, o.Refine.Waves,
-				r.Index+1, len(cells), r.InnerWorkers, r.WarmHitRate()*100)
-			set.Add(o)
+			snap := r.Snapshot(len(cells))
+			obs.PublishSnapshot(snap)
+			console.Printf("%s\n", snap.Summary())
+			set.Add(r.Outcome)
 		},
 	}
 	if *jobs != 1 {
 		cfg.OnStart = func(index, inFlight int) {
-			fmt.Fprintf(os.Stderr, "cell %d/%d start (%d in flight)\n", index+1, len(cells), inFlight)
+			console.Printf("cell %d/%d start (%d in flight)\n", index+1, len(cells), inFlight)
 		}
 	}
 	results, err := sched.Run(context.Background(), cells, cfg)
@@ -123,6 +142,13 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		console.Printf("wrote %s\n", *csvPath)
+	}
+
+	if tracer != nil {
+		if err := tracer.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		console.Printf("wrote trace to %s\n", *tracePath)
 	}
 }

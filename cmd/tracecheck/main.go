@@ -1,0 +1,58 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// gsino -trace or tables -trace: the file must parse, contain at least one
+// complete ("X") span with timestamps nondecreasing in array order, and —
+// when -need is given — contain a span matching every required name
+// substring. CI runs it after the trace smoke to pin the span taxonomy.
+//
+// Usage:
+//
+//	tracecheck trace.json
+//	tracecheck -need 'phase I: route,phase II: order,phase III: refine' trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	need := flag.String("need", "", "comma-separated span-name substrings that must each match some complete event")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: tracecheck [-need a,b,c] trace.json")
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := obs.ValidateTrace(data)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if stats.Complete == 0 {
+		log.Fatalf("%s: no complete spans recorded", path)
+	}
+	var missing []string
+	if *need != "" {
+		for _, want := range strings.Split(*need, ",") {
+			want = strings.TrimSpace(want)
+			if want != "" && !obs.TraceHasSpan(data, want) {
+				missing = append(missing, want)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		log.Fatalf("%s: missing required spans: %s", path, strings.Join(missing, "; "))
+	}
+	fmt.Printf("%s: ok — %d events (%d spans, %d metadata) on %d lanes\n",
+		path, stats.Events, stats.Complete, stats.Meta, stats.Lanes)
+}

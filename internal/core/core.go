@@ -31,6 +31,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/keff"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/sino"
 	"repro/internal/tech"
@@ -89,6 +90,20 @@ type Params struct {
 	// byte. The cache must have been sized for the model this runner derives
 	// from Tech (keff.NewPairCacheFor); see DESIGN.md §8.
 	Cache *keff.PairCache
+
+	// Trace, when enabled, records phase and span events for the whole
+	// flow — Phase I shards and reconciliation, Phase II engine batches,
+	// Phase III waves and pass-2 speculation — exportable as Chrome
+	// trace-event JSON (obs.Tracer.WriteJSON). Tracing is observational
+	// only: results are byte-identical with it on, off, or nil, at any
+	// worker count (DESIGN.md §9), and a nil tracer costs nothing.
+	Trace *obs.Tracer
+
+	// TraceLane, when nonzero, is the pre-allocated lane the runner's
+	// flow-level spans use (the batch scheduler passes its runner lane so
+	// a cell's spans nest under its cell span); zero allocates a lane
+	// named after the design.
+	TraceLane obs.Lane
 }
 
 func (p Params) withDefaults() Params {
@@ -159,7 +174,23 @@ type Outcome struct {
 	// boundary reconciliation it needed.
 	Route route.RunStats
 
+	// Eval reports the engine's pooled incremental evaluators' activity
+	// during this flow (binds, loads, incremental edits, rollbacks). Like
+	// every surfaced counter it is worker-count invariant.
+	Eval sino.EvalStats
+
+	// Cache introspects the pair-coupling cache at flow end: tier
+	// occupancy and lookup totals. Under the batch scheduler the cache is
+	// shared per technology, so occupancy reflects all cells so far and
+	// the lookup counters are schedule-dependent — reporting only, never
+	// part of the determinism fingerprint.
+	Cache keff.CacheInfo
+
 	Runtime time.Duration
+
+	// Phases is Runtime split across the paper's phases (observational
+	// only — timings never enter the deterministic tables or CSV).
+	Phases obs.PhaseTimes
 }
 
 // RefineStats reports how Phase III decomposed onto the worker pool
@@ -204,6 +235,9 @@ type Runner struct {
 	budgeter *budget.Budgeter
 	sens     netlist.Sensitivity
 	eng      *engine.Engine
+
+	trace *obs.Tracer
+	lane  obs.Lane
 }
 
 // NewRunner validates the design and prepares shared state.
@@ -223,13 +257,19 @@ func NewRunner(d *Design, p Params) (*Runner, error) {
 		return nil, err
 	}
 	model := keff.NewModel(p.Tech)
+	lane := p.TraceLane
+	if lane == 0 && p.Trace.Enabled() {
+		lane = p.Trace.Lane("flow " + d.Name)
+	}
 	return &Runner{
 		params:   p,
 		design:   d,
 		model:    model,
 		budgeter: b,
 		sens:     d.Nets.Sensitivity,
-		eng:      engine.New(engine.Config{Workers: p.Workers, Model: model, Cache: p.Cache}),
+		eng:      engine.New(engine.Config{Workers: p.Workers, Model: model, Cache: p.Cache, Trace: p.Trace}),
+		trace:    p.Trace,
+		lane:     lane,
 	}, nil
 }
 

@@ -3,7 +3,36 @@ package core
 import (
 	"context"
 	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/sino"
 )
+
+// Each flow times its phases individually (Outcome.Phases) in addition to
+// the total Runtime, and brackets them with tracer spans on the runner's
+// lane. Both are observational: timings and spans never feed back into any
+// algorithm and stay off the deterministic tables and CSV (timings live on
+// stderr only — the PR 5 contract).
+
+// finishStats closes out the bookkeeping every flow shares: engine and
+// evaluator counters accumulated since the flow started, and a cache
+// introspection snapshot.
+func (r *Runner) finishStats(o *Outcome, engBase engineBase, start time.Time) {
+	o.Engine = r.eng.Stats().Sub(engBase.stats)
+	o.Eval = r.eng.EvalStats().Sub(engBase.eval)
+	o.Cache = r.eng.Cache().Info()
+	o.Runtime = time.Since(start)
+}
+
+type engineBase struct {
+	stats engine.Stats
+	eval  sino.EvalStats
+}
+
+func (r *Runner) engineBase() engineBase {
+	return engineBase{stats: r.eng.Stats(), eval: r.eng.EvalStats()}
+}
 
 // runIDNO is the conventional baseline: wirelength/congestion-driven ID
 // routing (no shield reservation), then net ordering only in each region.
@@ -11,18 +40,29 @@ import (
 // counts.
 func (r *Runner) runIDNO(ctx context.Context) (*Outcome, error) {
 	start := time.Now()
-	engBase := r.eng.Stats()
+	base := r.engineBase()
+	fsp := r.trace.Start(r.lane, "flow", "flow ID+NO")
+	defer fsp.End()
+
+	psp := r.trace.Start(r.lane, "phase", "phase I: route")
 	res, err := r.routeAll(ctx, false)
+	psp.End()
+	routeDur := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
+
+	tOrder := time.Now()
+	psp = r.trace.Start(r.lane, "phase", "phase II: order")
 	st := r.buildState(res, budgetManhattan)
-	if err := st.solveAll(ctx, true); err != nil {
+	err = st.solveAll(ctx, true)
+	psp.End()
+	if err != nil {
 		return nil, err
 	}
 	o := st.outcome(FlowIDNO)
-	o.Engine = r.eng.Stats().Sub(engBase)
-	o.Runtime = time.Since(start)
+	o.Phases = obs.PhaseTimes{Route: routeDur, Order: time.Since(tOrder)}
+	r.finishStats(o, base, start)
 	return o, nil
 }
 
@@ -32,18 +72,29 @@ func (r *Runner) runIDNO(ctx context.Context) (*Outcome, error) {
 // column).
 func (r *Runner) runISINO(ctx context.Context) (*Outcome, error) {
 	start := time.Now()
-	engBase := r.eng.Stats()
+	base := r.engineBase()
+	fsp := r.trace.Start(r.lane, "flow", "flow iSINO")
+	defer fsp.End()
+
+	psp := r.trace.Start(r.lane, "phase", "phase I: route")
 	res, err := r.routeAll(ctx, false)
+	psp.End()
+	routeDur := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
+
+	tOrder := time.Now()
+	psp = r.trace.Start(r.lane, "phase", "phase II: order")
 	st := r.buildState(res, budgetTreeLength)
-	if err := st.solveAll(ctx, false); err != nil {
+	err = st.solveAll(ctx, false)
+	psp.End()
+	if err != nil {
 		return nil, err
 	}
 	o := st.outcome(FlowISINO)
-	o.Engine = r.eng.Stats().Sub(engBase)
-	o.Runtime = time.Since(start)
+	o.Phases = obs.PhaseTimes{Route: routeDur, Order: time.Since(tOrder)}
+	r.finishStats(o, base, start)
 	return o, nil
 }
 
@@ -53,19 +104,35 @@ func (r *Runner) runISINO(ctx context.Context) (*Outcome, error) {
 // eliminating the (detour-induced) violations, then clawing back congestion.
 func (r *Runner) runGSINO(ctx context.Context) (*Outcome, error) {
 	start := time.Now()
-	engBase := r.eng.Stats()
+	base := r.engineBase()
+	fsp := r.trace.Start(r.lane, "flow", "flow GSINO")
+	defer fsp.End()
+
+	psp := r.trace.Start(r.lane, "phase", "phase I: route")
 	res, err := r.routeAll(ctx, true) // Phase I
+	psp.End()
+	routeDur := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
+
+	tOrder := time.Now()
+	psp = r.trace.Start(r.lane, "phase", "phase II: order")
 	st := r.buildState(res, budgetManhattan)
 	if r.params.CongestionBudgeting {
 		st.redistributeByCongestion()
 	}
-	if err := st.solveAll(ctx, false); err != nil { // Phase II
+	err = st.solveAll(ctx, false) // Phase II
+	psp.End()
+	orderDur := time.Since(tOrder)
+	if err != nil {
 		return nil, err
 	}
+
+	tRefine := time.Now()
+	psp = r.trace.Start(r.lane, "phase", "phase III: refine")
 	refts, err := st.refine(ctx) // Phase III
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +140,7 @@ func (r *Runner) runGSINO(ctx context.Context) (*Outcome, error) {
 	o.Refinements = refts.resolves
 	o.Unfixable = refts.unfixable
 	o.Refine = refts.RefineStats
-	o.Engine = r.eng.Stats().Sub(engBase)
-	o.Runtime = time.Since(start)
+	o.Phases = obs.PhaseTimes{Route: routeDur, Order: orderDur, Refine: time.Since(tRefine)}
+	r.finishStats(o, base, start)
 	return o, nil
 }

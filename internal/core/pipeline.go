@@ -75,11 +75,13 @@ func (r *Runner) routeAll(ctx context.Context, shieldAware bool) (*route.Result,
 		ShieldAware: shieldAware,
 		Coeffs:      r.params.Coeffs,
 	}
+	ssp := r.trace.Start(r.lane, "route", "router seeding")
 	router, err := route.NewRouter(r.design.Grid, cfg, r.netsForRouting())
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
-	return router.RunSharded(ctx, r.eng, route.ShardConfig{})
+	return router.RunSharded(ctx, r.eng, route.ShardConfig{Trace: r.trace, Lane: r.lane})
 }
 
 // budgetMode selects how per-segment bounds are derived.

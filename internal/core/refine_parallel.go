@@ -86,7 +86,11 @@ func (st *chipState) refinePass1(ctx context.Context, exec waveExec, stats *refi
 				return err
 			}
 		}
-		if err := exec.wave(ctx, tasks); err != nil {
+		wsp := st.r.trace.Start(st.r.lane, "refine", "repair wave").
+			Arg("wave", int64(wave)).Arg("nets", int64(len(batch))).Arg("colors", int64(len(classes)))
+		err := exec.wave(ctx, tasks)
+		wsp.End()
+		if err != nil {
 			return err
 		}
 		for i := range batch {
@@ -138,10 +142,15 @@ func (st *chipState) refinePass2(ctx context.Context, exec waveExec, stats *refi
 			return err
 		}
 	}
-	if err := exec.wave(ctx, tasks); err != nil {
+	ssp := st.r.trace.Start(st.r.lane, "refine", "pass 2: speculate").Arg("candidates", int64(len(cands)))
+	err := exec.wave(ctx, tasks)
+	ssp.End()
+	if err != nil {
 		return err
 	}
 
+	asp := st.r.trace.Start(st.r.lane, "refine", "pass 2: accept")
+	defer asp.End()
 	for i := range plans {
 		if !plans[i].changed {
 			continue

@@ -1,0 +1,55 @@
+package core
+
+import "repro/internal/obs"
+
+// Snapshot flattens the outcome into the unified observability snapshot —
+// the one struct behind both CLI stats renderers (gsino -v detail blocks
+// and tables' per-cell stderr lines, via obs.Snapshot's formatters). obs
+// is a leaf package, so the copying lives here, on the importing side.
+// Batch context (cell position, warm-start carryover) is filled by
+// sched.Result.Snapshot on top of this.
+func (o *Outcome) Snapshot() obs.Snapshot {
+	s := obs.Snapshot{
+		Design: o.Design,
+		Flow:   string(o.Flow),
+		Rate:   o.Rate,
+
+		TotalNets:  o.TotalNets,
+		Violations: o.Violations,
+		Shields:    o.Shields,
+		SegTracks:  o.SegTracks,
+
+		Runtime: o.Runtime,
+		Phases:  o.Phases,
+
+		Workers: o.Engine.Workers,
+		Engine: obs.EngineStats{
+			Jobs: o.Engine.Jobs, Tasks: o.Engine.Tasks, Waves: o.Engine.Waves,
+			Errors: o.Engine.Errors, Tracks: o.Engine.Tracks, Shields: o.Engine.Shields,
+			CacheHits: o.Engine.CacheHits, CacheMiss: o.Engine.CacheMiss,
+		},
+		Eval: obs.EvalStats{
+			Binds: o.Eval.Binds, Loads: o.Eval.Loads,
+			Edits: o.Eval.Edits, Rollbacks: o.Eval.Rollbacks,
+		},
+		Route: obs.RouteStats{
+			Shards: o.Route.Shards, LargestShard: o.Route.LargestShard,
+			Reconciled: o.Route.Reconciled, ReconcileRounds: o.Route.ReconcileRounds,
+		},
+		Refine: obs.RefineStats{
+			Waves: o.Refine.Waves, MaxWave: o.Refine.MaxWave, MaxColors: o.Refine.MaxColors,
+			Resolves: o.Refinements, Unfixable: o.Unfixable,
+			Relaxed: o.Refine.Relaxed, Accepted: o.Refine.Accepted, Reverted: o.Refine.Reverted,
+		},
+		Cache: obs.CacheStats{
+			Dense: o.Cache.Dense, Overflow: o.Cache.Overflow,
+			SepBound: o.Cache.SepBound, RetBound: o.Cache.RetBound,
+		},
+		Congestion: obs.CongestionStats{
+			AvgHDensity: o.Congestion.AvgHDensity, AvgVDensity: o.Congestion.AvgVDensity,
+			MaxH: o.Congestion.MaxH, MaxV: o.Congestion.MaxV,
+			OverflowedH: o.Congestion.OverflowedH, OverflowedV: o.Congestion.OverflowedV,
+		},
+	}
+	return s
+}

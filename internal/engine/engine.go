@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/keff"
+	"repro/internal/obs"
 	"repro/internal/sino"
 )
 
@@ -110,6 +111,15 @@ type Config struct {
 	// OnProgress, when non-nil, is called after every completed job with
 	// the Run call's progress. Calls are serialized.
 	OnProgress func(Progress)
+
+	// Trace, when enabled, records batch-, wave-, and job-level spans: one
+	// span per Run/RunTasks/RunOn call on the engine's control lane, and
+	// one span per job or task on the executing worker's lane, so the
+	// exported trace shows exactly how work packed onto the pool. Tracing
+	// is purely observational — it never changes a result byte — and a nil
+	// or disabled tracer costs no allocations on the per-job path
+	// (TestDisabledJobSpanZeroAlloc).
+	Trace *obs.Tracer
 }
 
 // Stats are the engine's cumulative counters since construction.
@@ -157,6 +167,10 @@ type Engine struct {
 	cache      atomic.Pointer[keff.PairCache] // published by New or the first model-resolving Run
 	onProgress func(Progress)
 
+	trace    *obs.Tracer
+	ctlLane  obs.Lane   // batch-level spans (Run/RunTasks/RunOn calls)
+	jobLanes []obs.Lane // per-worker job/task spans; nil when untraced
+
 	runMu  sync.Mutex    // serializes Run calls
 	models []*keff.Model // one per worker, created at first Run
 	evals  []*sino.Eval  // one per worker, lazily built, reused across calls
@@ -183,7 +197,14 @@ func New(cfg Config) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{workers: w, onProgress: cfg.OnProgress}
+	e := &Engine{workers: w, onProgress: cfg.OnProgress, trace: cfg.Trace}
+	if e.trace.Enabled() {
+		e.ctlLane = e.trace.Lane("engine")
+		e.jobLanes = make([]obs.Lane, w)
+		for i := range e.jobLanes {
+			e.jobLanes[i] = e.trace.Lane(fmt.Sprintf("engine worker %d", i))
+		}
+	}
 	if cfg.Cache != nil {
 		e.cacheBaseHits, e.cacheBaseMiss = cfg.Cache.Stats()
 		e.cache.Store(cfg.Cache)
@@ -220,6 +241,15 @@ func (e *Engine) eval(w int) *sino.Eval {
 	return e.evals[w]
 }
 
+// workerLane returns worker w's trace lane (the main lane when untraced,
+// where spans are inert anyway). Nil-slice check only — safe on hot paths.
+func (e *Engine) workerLane(w int) obs.Lane {
+	if e.jobLanes == nil {
+		return 0
+	}
+	return e.jobLanes[w]
+}
+
 // Workers returns the pool bound.
 func (e *Engine) Workers() int { return e.workers }
 
@@ -227,6 +257,23 @@ func (e *Engine) Workers() int { return e.workers }
 // built without a model or injected cache and has not yet run a solve batch
 // (the cache is sized from the first resolved model).
 func (e *Engine) Cache() *keff.PairCache { return e.cache.Load() }
+
+// EvalStats sums the pooled per-worker incremental evaluators' counters
+// (binds, loads, edits, rollbacks — see sino.EvalStats). It acquires the
+// run lock so the counters are read quiescent: call it between batches,
+// not from inside a running task. Standalone NewWorker evaluators are not
+// included.
+func (e *Engine) EvalStats() sino.EvalStats {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	var s sino.EvalStats
+	for _, ev := range e.evals {
+		if ev != nil {
+			s = s.Add(ev.Stats())
+		}
+	}
+	return s
+}
 
 // Stats returns a snapshot of the cumulative counters.
 func (e *Engine) Stats() Stats {
@@ -316,12 +363,15 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		progress sync.Mutex
 	)
 	total := len(jobs)
+	bsp := e.trace.Start(e.ctlLane, "engine", "solve batch").Arg("jobs", int64(total))
 	e.drain(total, func(w, i int) {
 		if ctx.Err() != nil {
 			results[i] = Result{Err: ctx.Err()} // drain remaining with the ctx error
 			return
 		}
+		jsp := e.trace.Start(e.workerLane(w), "job", jobs[i].Mode.String()).Arg("job", int64(i))
 		results[i] = e.solveJob(&jobs[i], e.models[w], e.eval(w))
+		jsp.End()
 		if e.onProgress != nil {
 			progress.Lock()
 			done++
@@ -329,6 +379,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 			progress.Unlock()
 		}
 	})
+	bsp.End()
 	return results, ctx.Err()
 }
 
@@ -388,6 +439,7 @@ func (e *Engine) RunOn(ctx context.Context, tasks []func(*Worker) error) error {
 	e.waves.Add(1)
 	errs := make([]error, len(tasks))
 	workers := make([]*Worker, e.workers) // each slot touched by one goroutine
+	bsp := e.trace.Start(e.ctlLane, "engine", "wave").Arg("tasks", int64(len(tasks)))
 	e.drain(len(tasks), func(w, i int) {
 		if ctx.Err() != nil {
 			return // drain remaining indices without running them
@@ -396,8 +448,11 @@ func (e *Engine) RunOn(ctx context.Context, tasks []func(*Worker) error) error {
 			workers[w] = &Worker{e: e, model: e.models[w], ev: e.eval(w)}
 		}
 		wk := workers[w]
+		tsp := e.trace.Start(e.workerLane(w), "wave", "wave task").Arg("task", int64(i))
 		errs[i] = e.runTask(func() error { return tasks[i](wk) })
+		tsp.End()
 	})
+	bsp.End()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -414,19 +469,38 @@ func (e *Engine) RunOn(ctx context.Context, tasks []func(*Worker) error) error {
 // Panics in a task are converted to errors, matching Run's contract that a
 // poisoned work item cannot take down the pool.
 func (e *Engine) RunTasks(ctx context.Context, tasks []func() error) error {
+	return e.RunTasksLabeled(ctx, "task", nil, tasks)
+}
+
+// RunTasksLabeled is RunTasks with tracing labels: each task's span is
+// named labels[i] (falling back to cat when labels is nil or empty at i)
+// under category cat, so domain layers can name their work units — Phase I
+// labels its routing shards this way (route.LabeledPool). Labels are
+// display-only: execution, error contract, and determinism are exactly
+// RunTasks'. Callers should build labels only when the tracer is enabled;
+// a nil labels slice is the untraced fast path.
+func (e *Engine) RunTasksLabeled(ctx context.Context, cat string, labels []string, tasks []func() error) error {
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
 
 	if len(tasks) == 0 {
 		return ctx.Err()
 	}
+	bsp := e.trace.Start(e.ctlLane, "engine", "task batch").Arg("tasks", int64(len(tasks)))
 	errs := make([]error, len(tasks))
-	e.drain(len(tasks), func(_, i int) {
+	e.drain(len(tasks), func(w, i int) {
 		if ctx.Err() != nil {
 			return // drain remaining indices without running them
 		}
+		name := cat
+		if i < len(labels) && labels[i] != "" {
+			name = labels[i]
+		}
+		tsp := e.trace.Start(e.workerLane(w), cat, name).Arg("task", int64(i))
 		errs[i] = e.runTask(tasks[i])
+		tsp.End()
 	})
+	bsp.End()
 	if err := ctx.Err(); err != nil {
 		return err
 	}

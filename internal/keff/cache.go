@@ -238,6 +238,29 @@ func (c *PairCache) DenseBounds() (sep, ret int) {
 	return c.dMax, c.sMax
 }
 
+// CacheInfo is a point-in-time introspection snapshot of a PairCache —
+// tier occupancy, dense-tier coverage, and cumulative lookup counters —
+// the unified metrics snapshot (internal/obs) reports per flow.
+type CacheInfo struct {
+	Dense, Overflow    int    // geometries resident per tier
+	SepBound, RetBound int    // dense-tier coverage (DenseBounds)
+	Hits, Misses       uint64 // cumulative lookups (Stats)
+}
+
+// Info gathers a CacheInfo snapshot. Safe on a nil cache (all zeros), so
+// callers introspecting a lazily-allocated engine cache need no guard.
+// Occupancy is a scan of both tiers — cheap relative to a solve batch, but
+// not something to call per job.
+func (c *PairCache) Info() CacheInfo {
+	if c == nil {
+		return CacheInfo{}
+	}
+	info := CacheInfo{Dense: c.DenseLen(), Overflow: c.OverflowLen()}
+	info.SepBound, info.RetBound = c.DenseBounds()
+	info.Hits, info.Misses = c.Stats()
+	return info
+}
+
 // Clone returns an independent copy of the model: same configuration,
 // snapshot of the memoized partial inductances. A Model is not safe for
 // concurrent use (mutualAt grows the memo lazily); concurrent solvers give

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Console serializes line-oriented progress output from concurrent
+// goroutines onto one writer: each Printf formats privately and lands as a
+// single Write under one mutex, so lines from different goroutines can
+// interleave only at line granularity, never mid-line. This is the fix for
+// the torn stderr lines cmd/tables used to produce when scheduler OnStart
+// callbacks (fired concurrently from runner goroutines) raced the
+// emitter's OnResult lines on os.Stderr.
+type Console struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewConsole wraps w. A nil writer yields a Console that discards output.
+func NewConsole(w io.Writer) *Console { return &Console{w: w} }
+
+// Printf formats and writes one atomic chunk. Write errors are discarded —
+// progress output must never fail a run (the deterministic result writers
+// in internal/report do surface their errors).
+func (c *Console) Printf(format string, args ...any) {
+	if c == nil || c.w == nil {
+		return
+	}
+	s := fmt.Sprintf(format, args...)
+	c.mu.Lock()
+	io.WriteString(c.w, s)
+	c.mu.Unlock()
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// TraceStats summarizes a validated trace file.
+type TraceStats struct {
+	Events   int // total trace events
+	Complete int // ph "X" interval events
+	Meta     int // ph "M" metadata events
+	Lanes    int // distinct tids among complete events
+}
+
+// ValidateTrace checks that data is well-formed Chrome trace-event JSON as
+// this package writes it: it parses, every event names itself and carries
+// a known phase, complete events have nonnegative timestamps and durations
+// and appear in monotonically nondecreasing start order. It returns
+// summary statistics; callers decide how many events they require. This is
+// the shared backstop of the CI trace smoke (cmd/tracecheck) and the obs
+// unit tests.
+func ValidateTrace(data []byte) (TraceStats, error) {
+	var st TraceStats
+	var f struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Tid  *int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return st, fmt.Errorf("trace does not parse: %w", err)
+	}
+	lanes := map[int]bool{}
+	lastTs := -1.0
+	for i, e := range f.TraceEvents {
+		st.Events++
+		if e.Name == "" {
+			return st, fmt.Errorf("event %d has no name", i)
+		}
+		switch e.Ph {
+		case "M":
+			st.Meta++
+		case "X":
+			st.Complete++
+			if e.Ts == nil || *e.Ts < 0 {
+				return st, fmt.Errorf("complete event %d (%q) has missing or negative ts", i, e.Name)
+			}
+			if e.Dur == nil || *e.Dur < 0 {
+				return st, fmt.Errorf("complete event %d (%q) has missing or negative dur", i, e.Name)
+			}
+			if *e.Ts < lastTs {
+				return st, fmt.Errorf("complete event %d (%q) breaks timestamp monotonicity: %g after %g", i, e.Name, *e.Ts, lastTs)
+			}
+			lastTs = *e.Ts
+			if e.Tid != nil {
+				lanes[*e.Tid] = true
+			}
+		default:
+			return st, fmt.Errorf("event %d (%q) has unexpected phase %q", i, e.Name, e.Ph)
+		}
+	}
+	st.Lanes = len(lanes)
+	return st, nil
+}
+
+// TraceHasSpan reports whether any complete event's name contains the
+// given substring — how the CI smoke asserts the span taxonomy (phases,
+// shards, waves) actually shows up in a real run's trace.
+func TraceHasSpan(data []byte, substr string) bool {
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return false
+	}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "X" && strings.Contains(e.Name, substr) {
+			return true
+		}
+	}
+	return false
+}

@@ -11,7 +11,9 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/ibm"
+	"repro/internal/keff"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // pipelineDesign builds a compact random design, mirroring the core test
@@ -98,11 +100,13 @@ func renderAll(t *testing.T, workers int) string {
 }
 
 // gsinoFingerprint runs the full GSINO pipeline on a refinement-heavy
-// scaled ibm01 and renders everything a worker count could possibly
-// disturb: the report bytes plus the outcome fields the tables omit
-// (refinement counters included — Phase III's wave decomposition is part
-// of the determinism contract).
-func gsinoFingerprint(t *testing.T, seed int64, workers int) string {
+// scaled ibm01 and renders everything a worker count or tracer could
+// possibly disturb: the report bytes plus the outcome fields the tables
+// omit (refinement counters included — Phase III's wave decomposition is
+// part of the determinism contract). Wall-clock fields (Runtime, Phases)
+// and scheduling-dependent throughput counters (Engine, Cache lookup
+// totals) are zeroed; everything else must be byte-identical.
+func gsinoFingerprint(t *testing.T, seed int64, workers int, trace *obs.Tracer) string {
 	t.Helper()
 	profile, err := ibm.ProfileByName("ibm01")
 	if err != nil {
@@ -112,7 +116,8 @@ func gsinoFingerprint(t *testing.T, seed int64, workers int) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.NewRunner(&core.Design{Name: "ibm01", Nets: ckt.Nets, Grid: ckt.Grid, Rate: 0.5}, core.Params{Workers: workers})
+	r, err := core.NewRunner(&core.Design{Name: "ibm01", Nets: ckt.Nets, Grid: ckt.Grid, Rate: 0.5},
+		core.Params{Workers: workers, Trace: trace})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +126,9 @@ func gsinoFingerprint(t *testing.T, seed int64, workers int) string {
 		t.Fatal(err)
 	}
 	o.Runtime = 0
-	o.Engine = engine.Stats{} // scheduling-dependent throughput counters only
+	o.Phases = obs.PhaseTimes{}
+	o.Engine = engine.Stats{}  // scheduling-dependent throughput counters only
+	o.Cache = keff.CacheInfo{} // lookup totals are schedule-dependent
 	set := NewSet()
 	set.Add(o)
 	var b strings.Builder
@@ -140,11 +147,51 @@ func gsinoFingerprint(t *testing.T, seed int64, workers int) string {
 // real refinement pressure.
 func TestRefineWorkerInvariance(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
-		seq := gsinoFingerprint(t, seed, 1)
+		seq := gsinoFingerprint(t, seed, 1, nil)
 		for _, workers := range []int{4, 8} {
-			if par := gsinoFingerprint(t, seed, workers); par != seq {
+			if par := gsinoFingerprint(t, seed, workers, nil); par != seq {
 				t.Errorf("seed %d: GSINO outcome with %d workers differs from 1 worker:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
 					seed, workers, seq, workers, par)
+			}
+		}
+	}
+}
+
+// TestTraceInvariance pins observability to its off-the-result-path
+// contract (DESIGN.md §9): the full GSINO pipeline must produce
+// byte-identical reports and outcome fields with a nil tracer, a disabled
+// tracer, and an enabled tracer, at one worker and at several — and the
+// enabled run must actually have recorded a valid trace with all three
+// phase spans.
+func TestTraceInvariance(t *testing.T) {
+	const seed = 2
+	base := gsinoFingerprint(t, seed, 1, nil)
+	for _, workers := range []int{1, 4} {
+		disabled := obs.New()
+		disabled.SetEnabled(false)
+		if got := gsinoFingerprint(t, seed, workers, disabled); got != base {
+			t.Errorf("workers=%d: disabled tracer changed the outcome:\n--- nil ---\n%s\n--- disabled ---\n%s", workers, base, got)
+		}
+
+		enabled := obs.New()
+		if got := gsinoFingerprint(t, seed, workers, enabled); got != base {
+			t.Errorf("workers=%d: enabled tracer changed the outcome:\n--- nil ---\n%s\n--- enabled ---\n%s", workers, base, got)
+		}
+		var b strings.Builder
+		if err := enabled.WriteJSON(&b); err != nil {
+			t.Fatalf("workers=%d: WriteJSON: %v", workers, err)
+		}
+		data := []byte(b.String())
+		stats, err := obs.ValidateTrace(data)
+		if err != nil {
+			t.Fatalf("workers=%d: invalid trace: %v", workers, err)
+		}
+		if stats.Complete == 0 {
+			t.Errorf("workers=%d: enabled trace recorded no complete spans", workers)
+		}
+		for _, span := range []string{"phase I: route", "phase II: order", "phase III: refine"} {
+			if !obs.TraceHasSpan(data, span) {
+				t.Errorf("workers=%d: trace is missing span %q", workers, span)
 			}
 		}
 	}

@@ -240,7 +240,7 @@ func (r *Router) extractParallel(ctx context.Context, pool Pool) (*Result, error
 			return nil
 		}
 	}
-	if err := pool.RunTasks(ctx, tasks); err != nil {
+	if err := runLabeled(ctx, pool, "extract", nil, tasks); err != nil {
 		return nil, err
 	}
 	for _, u := range usages {

@@ -3,8 +3,10 @@ package route
 import (
 	"container/heap"
 	"context"
+	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Pool runs a batch of independent tasks, possibly concurrently, returning
@@ -13,6 +15,24 @@ import (
 // router depends only on this interface so it stays engine-agnostic.
 type Pool interface {
 	RunTasks(ctx context.Context, tasks []func() error) error
+}
+
+// LabeledPool is an optional Pool extension: pools that attach a display
+// name to each task's trace span implement it (the engine does). The
+// router uses it, when available and tracing is on, to name its shard
+// drains and extraction chunks in the exported trace; execution semantics
+// are identical to RunTasks.
+type LabeledPool interface {
+	RunTasksLabeled(ctx context.Context, cat string, labels []string, tasks []func() error) error
+}
+
+// runLabeled dispatches tasks through the pool's labeled path when one
+// exists, else plain RunTasks. labels may be nil (the untraced fast path).
+func runLabeled(ctx context.Context, pool Pool, cat string, labels []string, tasks []func() error) error {
+	if lp, ok := pool.(LabeledPool); ok {
+		return lp.RunTasksLabeled(ctx, cat, labels, tasks)
+	}
+	return pool.RunTasks(ctx, tasks)
 }
 
 // ShardConfig tunes RunSharded's tile decomposition. The configuration is
@@ -28,6 +48,17 @@ type ShardConfig struct {
 	// MaxReconcileRounds bounds the boundary-reconciliation loop; 0 selects
 	// 2, negative disables reconciliation.
 	MaxReconcileRounds int
+
+	// Trace, when enabled, records Phase I spans: one per shard drain
+	// (named, on the executing worker's lane when the pool supports
+	// labels), plus the serial sections ROADMAP's Amdahl pass watches —
+	// heap split, delta merge, each reconciliation round, and tree
+	// extraction — on Lane. Tracing never changes the routing result.
+	Trace *obs.Tracer
+
+	// Lane is the caller's trace lane for the serial-section spans
+	// (core passes the flow runner's lane).
+	Lane obs.Lane
 }
 
 func (c ShardConfig) withDefaults(cols, rows int) ShardConfig {
@@ -88,6 +119,7 @@ func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*R
 	// Split the seeded heap across the groups and restore heap order. The
 	// total order on items (see edgeHeap.Less) makes each group's pop
 	// sequence independent of how the global slice was interleaved.
+	ssp := cfg.Trace.Start(cfg.Lane, "route", "heap split").Arg("shards", int64(len(groups)))
 	for _, it := range r.pq {
 		v := views[owner[it.net]]
 		v.pq = append(v.pq, it)
@@ -96,29 +128,41 @@ func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*R
 	for _, v := range views {
 		heap.Init(&v.pq)
 	}
+	ssp.End()
 
 	if pool == nil || len(views) == 1 {
-		for _, v := range views {
+		for gi, v := range views {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			dsp := cfg.Trace.Start(cfg.Lane, "route", "shard drain").Arg("shard", int64(gi)).Arg("nets", int64(len(groups[gi])))
 			v.drain()
+			dsp.End()
 		}
 	} else {
+		var labels []string
+		if cfg.Trace.Enabled() {
+			labels = make([]string, len(views))
+			for gi := range views {
+				labels[gi] = fmt.Sprintf("shard %d (%d nets)", gi, len(groups[gi]))
+			}
+		}
 		tasks := make([]func() error, len(views))
 		for i := range views {
 			v := views[i]
 			tasks[i] = func() error { v.drain(); return nil }
 		}
-		if err := pool.RunTasks(ctx, tasks); err != nil {
+		if err := runLabeled(ctx, pool, "shard", labels, tasks); err != nil {
 			return nil, err
 		}
 	}
 
 	// Deterministic merge: tile order, then window scan order within each.
+	msp := cfg.Trace.Start(cfg.Lane, "route", "delta merge").Arg("shards", int64(len(views)))
 	for _, v := range views {
 		v.merge()
 	}
+	msp.End()
 
 	for round := 0; round < cfg.MaxReconcileRounds; round++ {
 		ripped := r.overflowNets()
@@ -130,6 +174,7 @@ func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*R
 		}
 		stats.ReconcileRounds++
 		stats.Reconciled += len(ripped)
+		rsp := cfg.Trace.Start(cfg.Lane, "route", "reconcile").Arg("round", int64(round)).Arg("nets", int64(len(ripped)))
 		v := newView(r, r.g.Bounds())
 		for _, ni := range ripped {
 			r.reseed(ni, &v.pq)
@@ -137,9 +182,12 @@ func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*R
 		heap.Init(&v.pq)
 		v.drain()
 		v.merge()
+		rsp.End()
 	}
 
+	xsp := cfg.Trace.Start(cfg.Lane, "route", "tree extraction")
 	res, err := r.extractParallel(ctx, pool)
+	xsp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/keff"
+	"repro/internal/obs"
 	"repro/internal/tech"
 )
 
@@ -75,6 +76,22 @@ func (r Result) WarmHitRate() float64 {
 	return float64(r.WarmHits) / float64(r.WarmHits+r.WarmMisses)
 }
 
+// Snapshot builds the unified observability snapshot for this cell: the
+// outcome's metrics plus the batch context (cell position out of total,
+// the inner worker split, and warm-start carryover). Errored cells yield
+// a snapshot with only the batch context filled in.
+func (r Result) Snapshot(total int) obs.Snapshot {
+	var s obs.Snapshot
+	if r.Outcome != nil {
+		s = r.Outcome.Snapshot()
+	}
+	s.Cell = r.Index + 1 // 1-based for display: "cell 3/36"
+	s.Cells = total
+	s.InnerWorkers = r.InnerWorkers
+	s.Warm = obs.WarmStats{Hits: r.WarmHits, Misses: r.WarmMisses}
+	return s
+}
+
 // Config tunes a batch run.
 type Config struct {
 	// Jobs bounds how many cells run concurrently; <= 0 selects one per
@@ -97,6 +114,13 @@ type Config struct {
 	// cell order (cell i's result is never delivered before cell i-1's),
 	// whatever order cells finished in. Calls are serialized.
 	OnResult func(Result)
+
+	// Trace, when enabled, records the batch's cell lifecycle as spans —
+	// one lane per outer runner, one span per cell, with the cell's flow
+	// and phase spans nested under it (the scheduler hands each runner's
+	// lane down through core.Params.TraceLane). Observational only: batch
+	// outcomes are byte-identical with tracing on, off, or nil.
+	Trace *obs.Tracer
 }
 
 // Run executes every cell and returns results positionally: results[i] is
@@ -122,6 +146,13 @@ func Run(ctx context.Context, cells []Cell, cfg Config) ([]Result, error) {
 	inner := splitWorkers(totalWorkers, jobs)
 	caches := buildCaches(cells)
 
+	lanes := make([]obs.Lane, jobs)
+	if cfg.Trace.Enabled() {
+		for w := range lanes {
+			lanes[w] = cfg.Trace.Lane(fmt.Sprintf("sched runner %d", w))
+		}
+	}
+
 	em := &emitter{results: results, ready: make([]bool, len(cells)), fn: cfg.OnResult}
 	var (
 		next     atomic.Int64
@@ -130,7 +161,7 @@ func Run(ctx context.Context, cells []Cell, cfg Config) ([]Result, error) {
 	)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane obs.Lane) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
@@ -147,11 +178,21 @@ func Run(ctx context.Context, cells []Cell, cfg Config) ([]Result, error) {
 				} else {
 					inFlight.Add(1)
 				}
-				results[i] = runCell(ctx, i, cells[i], caches[techKey(cells[i].Params)], inner)
+				var name string
+				if cfg.Trace.Enabled() {
+					if cells[i].Design != nil {
+						name = fmt.Sprintf("cell %d: %s %s", i, cells[i].Design.Name, cells[i].Flow)
+					} else {
+						name = fmt.Sprintf("cell %d", i)
+					}
+				}
+				csp := cfg.Trace.Start(lane, "sched", name).Arg("cell", int64(i))
+				results[i] = runCell(ctx, i, cells[i], caches[techKey(cells[i].Params)], inner, cfg.Trace, lane)
+				csp.End()
 				inFlight.Add(-1)
 				em.done(i)
 			}
-		}()
+		}(lanes[w])
 	}
 	wg.Wait()
 	return results, ctx.Err()
@@ -196,9 +237,10 @@ func buildCaches(cells []Cell) map[tech.Technology]*keff.PairCache {
 	return caches
 }
 
-// runCell executes one cell on its own runner, wiring in the shared cache
-// and the split worker budget.
-func runCell(ctx context.Context, i int, c Cell, cache *keff.PairCache, workers int) Result {
+// runCell executes one cell on its own runner, wiring in the shared cache,
+// the split worker budget, and the runner's trace lane (so the cell's flow
+// spans nest under its cell span).
+func runCell(ctx context.Context, i int, c Cell, cache *keff.PairCache, workers int, trace *obs.Tracer, lane obs.Lane) Result {
 	r := Result{Index: i}
 	if c.Design == nil {
 		r.Err = fmt.Errorf("sched: cell %d has no design", i)
@@ -207,6 +249,10 @@ func runCell(ctx context.Context, i int, c Cell, cache *keff.PairCache, workers 
 	r.WarmHits, r.WarmMisses = cache.Stats()
 	p := c.Params
 	p.Cache = cache
+	if p.Trace == nil {
+		p.Trace = trace
+		p.TraceLane = lane
+	}
 	if p.Workers <= 0 { // non-positive means auto, matching engine semantics
 		p.Workers = workers
 	}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/ibm"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/tech"
 )
@@ -310,5 +312,51 @@ func TestEmptyBatch(t *testing.T) {
 	results, err := Run(context.Background(), nil, Config{})
 	if err != nil || len(results) != 0 {
 		t.Errorf("empty batch: results=%v err=%v", results, err)
+	}
+}
+
+// TestBatchTrace runs a small batch with tracing enabled and checks the
+// cell lifecycle shows up: one "cell i: design flow" span per cell, with
+// each cell's flow span recorded (the scheduler hands its runner lane to
+// core through Params.TraceLane), and the export validates.
+func TestBatchTrace(t *testing.T) {
+	d := randomDesign(t, 40, 0.3, 7)
+	cells := evalGrid(d)
+	tr := obs.New()
+	results, err := Run(context.Background(), cells, Config{Jobs: 2, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(buf.String())
+	if _, err := obs.ValidateTrace(data); err != nil {
+		t.Fatalf("batch trace fails validation: %v", err)
+	}
+	for i, c := range cells {
+		want := fmt.Sprintf("cell %d: %s %s", i, c.Design.Name, c.Flow)
+		if !obs.TraceHasSpan(data, want) {
+			t.Errorf("trace is missing cell span %q", want)
+		}
+		if !obs.TraceHasSpan(data, "flow "+string(c.Flow)) {
+			t.Errorf("trace is missing flow span for %s", c.Flow)
+		}
+	}
+
+	// Result.Snapshot layers the batch context onto the outcome's numbers.
+	s := results[2].Snapshot(len(cells))
+	if s.Cell != 3 || s.Cells != len(cells) {
+		t.Errorf("Snapshot cell position = %d/%d, want 3/%d", s.Cell, s.Cells, len(cells))
+	}
+	if s.Flow != string(cells[2].Flow) || s.Design != d.Name {
+		t.Errorf("Snapshot identity = %s %s, want %s %s", s.Design, s.Flow, d.Name, cells[2].Flow)
+	}
+	if s.InnerWorkers != results[2].InnerWorkers {
+		t.Errorf("Snapshot workers = %d, want %d", s.InnerWorkers, results[2].InnerWorkers)
 	}
 }

@@ -62,7 +62,41 @@ type Eval struct {
 	mTracks               []int
 	mK                    []float64
 	mCap, mShields, mOver int
+
+	stats EvalStats
 }
+
+// EvalStats counts an evaluator's cumulative activity — the evaluator-pool
+// observability counters internal/obs snapshots per flow. The counts are a
+// pure function of the solve schedule (every op the solvers issue is
+// deterministic per instance), so summed over an engine's worker pool they
+// are invariant under the worker count, like every other surfaced counter.
+type EvalStats struct {
+	Binds     uint64 // instances attached (Bind)
+	Loads     uint64 // full solution loads — each an O(n·cutoff) rebuild
+	Edits     uint64 // incremental ops: inserts, removes, swaps (O(window) each)
+	Rollbacks uint64 // one-level undo restores (O(n) integer rebuild)
+}
+
+// Add returns the fieldwise sum.
+func (s EvalStats) Add(o EvalStats) EvalStats {
+	return EvalStats{
+		Binds: s.Binds + o.Binds, Loads: s.Loads + o.Loads,
+		Edits: s.Edits + o.Edits, Rollbacks: s.Rollbacks + o.Rollbacks,
+	}
+}
+
+// Sub returns the counters accumulated since an earlier snapshot.
+func (s EvalStats) Sub(o EvalStats) EvalStats {
+	return EvalStats{
+		Binds: s.Binds - o.Binds, Loads: s.Loads - o.Loads,
+		Edits: s.Edits - o.Edits, Rollbacks: s.Rollbacks - o.Rollbacks,
+	}
+}
+
+// Stats returns the evaluator's cumulative counters (they survive Bind:
+// a pooled evaluator's stats span every instance it served).
+func (e *Eval) Stats() EvalStats { return e.stats }
 
 // NewEval returns an empty evaluator; Bind attaches it to an instance.
 func NewEval() *Eval { return &Eval{} }
@@ -81,6 +115,7 @@ const memoMinSegs = 16
 func (e *Eval) Bind(in *Instance) {
 	n := len(in.Segs)
 	e.in = in
+	e.stats.Binds++
 	if e.cp == nil || e.cp.Model() != in.Model || e.cp.SharedCache() != in.Cache {
 		e.cp = keff.NewCoupler(in.Model, in.Cache)
 		if in.Cache == nil && n >= memoMinSegs {
@@ -114,6 +149,7 @@ func (e *Eval) Bind(in *Instance) {
 // Loaded again before use.
 func (e *Eval) Load(s *Solution) error {
 	n := len(e.in.Segs)
+	e.stats.Loads++
 	e.tracks = append(e.tracks[:0], s.Tracks...)
 	e.pos = growInts(e.pos, n)
 	for i := range e.pos {
@@ -177,6 +213,7 @@ func (e *Eval) RemoveShield(at int) {
 // touching the pair can change, and the swapped pair's own adjacency is
 // invariant.
 func (e *Eval) SwapAdjacent(t int) {
+	e.stats.Edits++
 	e.capPairs += capSwapDelta(e.tracks, t, e.sens.get)
 	e.exchange(t, t+1)
 	lo, _ := e.in.Model.AffectedRange(e.layout, t)
@@ -250,6 +287,7 @@ func (e *Eval) mark() {
 // no couplings are re-evaluated — and the derived arrays (layout,
 // position index, shield table) rebuild in O(n) integer work.
 func (e *Eval) rollback() {
+	e.stats.Rollbacks++
 	e.tracks = append(e.tracks[:0], e.mTracks...)
 	e.k = append(e.k[:0], e.mK...)
 	e.capPairs, e.nShields, e.nOver = e.mCap, e.mShields, e.mOver
@@ -268,6 +306,7 @@ func (e *Eval) rollback() {
 
 // insertAt inserts track value v (segment index or Shield) at position at.
 func (e *Eval) insertAt(at, v int) {
+	e.stats.Edits++
 	e.tracks = append(e.tracks, 0)
 	copy(e.tracks[at+1:], e.tracks[at:])
 	e.tracks[at] = v
@@ -291,6 +330,7 @@ func (e *Eval) insertAt(at, v int) {
 
 // removeAt removes the track at position at and returns its value.
 func (e *Eval) removeAt(at int) int {
+	e.stats.Edits++
 	v := e.tracks[at]
 	copy(e.tracks[at:], e.tracks[at+1:])
 	e.tracks = e.tracks[:len(e.tracks)-1]
@@ -316,6 +356,7 @@ func (e *Eval) swapAny(a, b int) {
 	if a == b {
 		return
 	}
+	e.stats.Edits++
 	if a > b {
 		a, b = b, a
 	}
