@@ -40,6 +40,99 @@ func (st *chipState) conflictNodes(unfixable map[int]bool) []conflictNode {
 	return nodes
 }
 
+// netFootprint returns the instance ids net's route crosses — the node
+// footprint. Instance membership never changes during refinement (only
+// bounds, solutions, and couplings mutate), so a footprint is computed at
+// most once per net and reused across graph updates.
+func (st *chipState) netFootprint(net int) []int {
+	insts := make([]int, 0, len(st.terms[net]))
+	for _, t := range st.terms[net] {
+		insts = append(insts, t.inst.ord)
+	}
+	return insts
+}
+
+// conflictGraph is the live conflict graph pass 1 maintains between
+// waves: one vertex per violating, not-yet-unfixable net, with its
+// severity ratio and static instance footprint. Instead of rebuilding
+// from an O(nets × terms) sweep at every barrier, the graph is mutated in
+// place from the violation tracker's change set: satisfied vertices drop,
+// new violators join, and touched vertices refresh their severity. The
+// rebuild-vs-incremental equivalence is fuzzed (FuzzConflictGraphUpdate)
+// and the coloring consumed downstream is a pure function of the vertex
+// set, so wave schedules stay bit-stable.
+type conflictGraph struct {
+	st    *chipState
+	nodes map[int]conflictNode
+
+	// dropped/added count vertex removals and insertions across updates —
+	// deterministic bookkeeping surfaced through RefineStats.
+	dropped, added int
+}
+
+// newConflictGraph builds the graph from the tracker's violating set,
+// excluding unfixable nets. It must observe a flushed tracker.
+func newConflictGraph(st *chipState, tr *violTracker, unfixable map[int]bool) *conflictGraph {
+	g := &conflictGraph{st: st, nodes: make(map[int]conflictNode)}
+	for net, v := range tr.viol {
+		if !v || unfixable[net] {
+			continue
+		}
+		g.nodes[net] = conflictNode{net: net, ratio: tr.lsk[net] / st.lskb[net], insts: st.netFootprint(net)}
+	}
+	return g
+}
+
+// update applies one barrier's change set: every net whose tracked LSK or
+// violation membership changed (tr.flush's return), plus any net newly
+// marked unfixable, is re-derived against the flushed tracker — dropped
+// when satisfied or unfixable, inserted or severity-refreshed otherwise.
+// The result is identical to rebuilding from scratch because only changed
+// nets can differ from their existing vertices (footprints are static and
+// ratios are pure functions of the tracked LSK).
+func (g *conflictGraph) update(tr *violTracker, changed []int, unfixable map[int]bool) {
+	for _, net := range changed {
+		g.refresh(tr, net, unfixable)
+	}
+}
+
+// refresh re-derives one net's vertex from the flushed tracker.
+func (g *conflictGraph) refresh(tr *violTracker, net int, unfixable map[int]bool) {
+	old, present := g.nodes[net]
+	if !tr.viol[net] || unfixable[net] {
+		if present {
+			delete(g.nodes, net)
+			g.dropped++
+		}
+		return
+	}
+	ratio := tr.lsk[net] / g.st.lskb[net]
+	if !present {
+		g.nodes[net] = conflictNode{net: net, ratio: ratio, insts: g.st.netFootprint(net)}
+		g.added++
+		return
+	}
+	old.ratio = ratio
+	g.nodes[net] = old
+}
+
+// snapshot returns the vertices in ascending net order — the same shape
+// conflictNodes produced. colorConflicts is permutation-invariant, but a
+// deterministic order keeps the snapshot directly comparable to a rebuilt
+// graph in the equivalence tests.
+func (g *conflictGraph) snapshot() []conflictNode {
+	nets := make([]int, 0, len(g.nodes))
+	for net := range g.nodes {
+		nets = append(nets, net)
+	}
+	sort.Ints(nets)
+	nodes := make([]conflictNode, len(nets))
+	for i, net := range nets {
+		nodes[i] = g.nodes[net]
+	}
+	return nodes
+}
+
 // colorConflicts greedily partitions nodes into classes whose members are
 // pairwise instance-disjoint. Nodes are considered in a deterministic
 // severity order — ratio descending, net id ascending on ties — and each

@@ -205,6 +205,13 @@ type RefineStats struct {
 	Relaxed   int // pass-2 instances speculatively re-solved
 	Accepted  int // pass-2 relaxations kept at the acceptance barrier
 	Reverted  int // pass-2 relaxations undone (shield count or violation)
+
+	// Incremental-barrier bookkeeping (DESIGN.md §10). All three are pure
+	// functions of the chip state, so they are byte-identical at any
+	// worker count like every other counter here.
+	Refreshed    int // per-net LSK refreshes the violation tracker ran
+	GraphDropped int // conflict-graph vertices dropped between waves
+	GraphAdded   int // conflict-graph vertices added between waves
 }
 
 // AreaOverheadPct returns the percentage area increase of o versus base —

@@ -49,6 +49,12 @@ type chipState struct {
 	terms  [][]segTerm // per net: its instance memberships
 	lskb   []float64   // per net LSK budget
 	routed *route.Result
+
+	// barrierRecompute switches refinement's between-wave bookkeeping to
+	// the historical full resweep + graph rebuild. Only the oracle /
+	// equivalence tests and the barrier-cost benchmark set it; the
+	// production pipeline always runs the incremental tracker.
+	barrierRecompute bool
 }
 
 // netsForRouting converts the netlist into router requests.
@@ -67,8 +73,10 @@ func (r *Runner) netsForRouting() []route.Net {
 }
 
 // routeAll runs the ID router — Phase I — sharded across the engine's
-// worker pool. The tile decomposition is a fixed function of the design,
-// so the routing result is byte-identical at every worker count.
+// worker pool, with router seeding itself chunked onto the same pool
+// (route.NewRouterOn). The tile decomposition and the seeding chunking
+// are fixed functions of the design, so the routing result is
+// byte-identical at every worker count.
 func (r *Runner) routeAll(ctx context.Context, shieldAware bool) (*route.Result, error) {
 	cfg := route.Config{
 		Alpha: r.params.Alpha, Beta: r.params.Beta, Gamma: r.params.Gamma,
@@ -76,7 +84,7 @@ func (r *Runner) routeAll(ctx context.Context, shieldAware bool) (*route.Result,
 		Coeffs:      r.params.Coeffs,
 	}
 	ssp := r.trace.Start(r.lane, "route", "router seeding")
-	router, err := route.NewRouter(r.design.Grid, cfg, r.netsForRouting())
+	router, err := route.NewRouterOn(ctx, r.design.Grid, cfg, r.netsForRouting(), r.eng)
 	ssp.End()
 	if err != nil {
 		return nil, err

@@ -35,6 +35,15 @@ type refineStats struct {
 // functions of the chip state, so the outcome is byte-identical at any
 // worker count (DESIGN.md §7); refineSerial is the pool-free reference the
 // determinism tests compare against.
+//
+// Between-wave bookkeeping is incremental (DESIGN.md §10): a violation
+// tracker maintains per-net LSK and the violating set across barriers,
+// refreshing only the nets incident to touched instances, and the
+// conflict graph is mutated in place instead of rebuilt. Both are
+// bit-identical to the from-scratch recomputation (the oracle tests pin
+// this), so the incremental paths run unconditionally — barrierRecompute
+// below exists only for the oracle/equivalence tests and the barrier-cost
+// benchmark, never for production opt-out.
 func (st *chipState) refine(ctx context.Context) (refineStats, error) {
 	return st.refineWith(ctx, engineWaves{st.r.eng})
 }
@@ -51,12 +60,14 @@ func (st *chipState) refineSerial(ctx context.Context) (refineStats, error) {
 
 func (st *chipState) refineWith(ctx context.Context, exec waveExec) (refineStats, error) {
 	var stats refineStats
-	if err := st.refinePass1(ctx, exec, &stats); err != nil {
+	tr := st.newViolTracker()
+	if err := st.refinePass1(ctx, exec, tr, &stats); err != nil {
 		return stats, err
 	}
-	if err := st.refinePass2(ctx, exec, &stats); err != nil {
+	if err := st.refinePass2(ctx, exec, tr, &stats); err != nil {
 		return stats, err
 	}
+	stats.Refreshed = tr.refreshes
 	return stats, nil
 }
 
@@ -77,11 +88,15 @@ func (st *chipState) density(in *regionInst) float64 {
 // congested tightenable region toward its fair share of the needed
 // reduction (the fixed shrink factor alone converges too slowly for nets
 // crossing dozens of regions) and repair that instance by shield
-// insertion. It reports whether the net met its budget and how many
-// re-solves ran. The loop reads and mutates only the net's own instances,
-// so nets with disjoint instance sets repair concurrently without
-// observing each other.
-func (st *chipState) repairNet(ctx context.Context, net int, w *engine.Worker) (fixed bool, resolves int, err error) {
+// insertion. It reports whether the net met its budget, how many re-solves
+// ran, and the distinct instances it re-solved — the exact mutation set
+// the barrier's violation tracker must refresh (touching the net's whole
+// footprint would be correct but dirties every co-resident net; on dense
+// fixtures that costs more than the full resweep it replaces). The loop
+// reads and mutates only the net's own instances, so nets with disjoint
+// instance sets repair concurrently without observing each other; touched
+// is task-private until the barrier.
+func (st *chipState) repairNet(ctx context.Context, net int, w *engine.Worker) (fixed bool, resolves int, touched []*regionInst, err error) {
 	kFloor := st.r.budgeter.KFloor
 	if kFloor <= 0 {
 		kFloor = 0.05
@@ -89,13 +104,14 @@ func (st *chipState) repairNet(ctx context.Context, net int, w *engine.Worker) (
 	shrink := st.r.params.RefineShrink
 
 	tried := make(map[*regionInst]int)
+	seen := make(map[*regionInst]bool)
 	for inner := 0; inner < 3*len(st.terms[net])+8; inner++ {
 		if err := ctx.Err(); err != nil {
-			return false, resolves, err // cancellation stops mid-net, not mid-solve
+			return false, resolves, touched, err // cancellation stops mid-net, not mid-solve
 		}
 		lsk := st.lskOf(net)
 		if lsk <= st.lskb[net]*(1+1e-9) {
-			return true, resolves, nil
+			return true, resolves, touched, nil
 		}
 		ratio := st.lskb[net] / lsk * shrink
 		t := st.leastCongestedTightenable(net, kFloor, tried)
@@ -114,17 +130,21 @@ func (st *chipState) repairNet(ctx context.Context, net int, w *engine.Worker) (
 		in.segs[t.seg].Kth = target
 		res := w.Do(st.job(in, engine.ModeRepair))
 		if res.Err != nil {
-			return false, resolves, res.Err
+			return false, resolves, touched, res.Err
 		}
 		in.apply(res)
 		resolves++
+		if !seen[in] {
+			seen[in] = true
+			touched = append(touched, in)
+		}
 		if in.k[t.seg] >= before*(1-1e-9) {
 			// The solver could not reduce this segment further; stop
 			// revisiting it once it has had a couple of chances.
 			tried[in]++
 		}
 	}
-	return false, resolves, nil
+	return false, resolves, touched, nil
 }
 
 // leastCongestedTightenable picks the net's segment in the least congested
@@ -160,9 +180,10 @@ type relaxPlan struct {
 // speculateRelax grants every segment of the instance its net's LSK slack
 // (converted to a K allowance over its local length) and re-solves under
 // the loosened bounds, touching nothing outside the returned plan. Slack
-// is read from the shared chip state, which the speculation wave treats as
-// an immutable snapshot.
-func (st *chipState) speculateRelax(in *regionInst, w *engine.Worker) (relaxPlan, error) {
+// is read from the violation tracker's maintained LSK values — bit-equal
+// to a live lskOf recompute and O(1) per segment — which the speculation
+// wave treats as an immutable snapshot.
+func (st *chipState) speculateRelax(tr *violTracker, in *regionInst, w *engine.Worker) (relaxPlan, error) {
 	p := relaxPlan{in: in}
 	kth := make([]float64, len(in.segs))
 	for i := range in.segs {
@@ -171,7 +192,7 @@ func (st *chipState) speculateRelax(in *regionInst, w *engine.Worker) (relaxPlan
 	changed := false
 	for i := range in.segs {
 		net := in.nets[i]
-		slack := st.lskb[net] - st.lskOf(net)
+		slack := st.lskb[net] - tr.lsk[net]
 		if slack <= 0 || in.lens[i] <= 0 {
 			continue
 		}
@@ -202,8 +223,14 @@ func (st *chipState) speculateRelax(in *regionInst, w *engine.Worker) (relaxPlan
 // 2's acceptance rule. A plan speculated against slack that an earlier
 // acceptance has since consumed fails the violation check here and is
 // reverted, restoring the instance's bounds, solution, and couplings
-// exactly. Reports whether the plan was kept.
-func (st *chipState) acceptOrRevert(p *relaxPlan) bool {
+// exactly. The violation check is incremental: only the relaxed
+// instance's own nets can have moved, so touching that one instance and
+// flushing the tracker reproduces the old full violating() sweep bit for
+// bit — and when shields were not reduced the plan is reverted without
+// consulting the tracker at all, preserving the original short-circuit
+// (the revert restores the exact state the tracker already describes).
+// Reports whether the plan was kept.
+func (st *chipState) acceptOrRevert(tr *violTracker, p *relaxPlan) bool {
 	in := p.in
 	oldKth := make([]float64, len(in.segs))
 	for i := range in.segs {
@@ -215,10 +242,23 @@ func (st *chipState) acceptOrRevert(p *relaxPlan) bool {
 		in.segs[i].Kth = p.kth[i]
 	}
 	in.sol, in.k = p.sol, p.k
-	if in.sol.NumShields() < oldSol.NumShields() && len(st.violating()) == 0 {
-		return true // accepted
+	if in.sol.NumShields() < oldSol.NumShields() {
+		tr.touchInst(in)
+		tr.flush()
+		if tr.count() == 0 {
+			return true // accepted
+		}
+		// Revert, and re-flush so the tracker tracks the restored state.
+		for i := range in.segs {
+			in.segs[i].Kth = oldKth[i]
+		}
+		in.sol, in.k = oldSol, oldK
+		tr.touchInst(in)
+		tr.flush()
+		return false
 	}
-	// Revert.
+	// Shields not reduced: revert without touching the tracker — the
+	// restored state is byte-identical to what the tracker last flushed.
 	for i := range in.segs {
 		in.segs[i].Kth = oldKth[i]
 	}

@@ -24,38 +24,52 @@ var refineBenchJSON = flag.String("benchjson", "", "write refinement pass benchm
 var refineBenchWorkers = []int{1, 4}
 
 // benchRefineState builds the shared fixture: a scaled ibm01 with real
-// Phase II violations (~38 violating nets at scale 8), plus a snapshot to
-// restore between iterations so every pass run starts from the same state.
+// Phase II violations (scale 16, the barrier-cost acceptance fixture),
+// plus a snapshot to restore between iterations so every pass run starts
+// from the same state.
 func benchRefineState(b *testing.B, workers int) (*Runner, *chipState, []instSnap) {
-	r, st := ibmRefineFixture(b, 8, 0.5, 1, Params{Workers: workers})
+	r, st := ibmRefineFixture(b, 16, 0.5, 1, Params{Workers: workers})
 	if len(st.violating()) == 0 {
 		b.Fatal("bench fixture has no violations to repair")
 	}
 	return r, st, snapshotState(st)
 }
 
-func benchRefinePass1Body(b *testing.B, workers int) {
+// benchRefinePass1 measures pass 1 end to end. The recompute arm flips
+// st.barrierRecompute, swapping the incremental tracker/graph updates for
+// the historical full resweep + rebuild at every wave barrier — the
+// barrier-cost dimension BENCH_refine.json tracks (pass1 vs
+// pass1-recompute is exactly the Amdahl tail the tracker removed).
+func benchRefinePass1(b *testing.B, workers int, recompute bool) {
 	r, st, snaps := benchRefineState(b, workers)
+	st.barrierRecompute = recompute
 	var last refineStats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		restoreState(st, snaps)
+		tr := st.newViolTracker()
 		b.StartTimer()
 		var stats refineStats
-		if err := st.refinePass1(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+		if err := st.refinePass1(context.Background(), engineWaves{r.eng}, tr, &stats); err != nil {
 			b.Fatal(err)
 		}
 		last = stats
 	}
 	b.ReportMetric(float64(last.Waves), "waves")
 	b.ReportMetric(float64(last.resolves), "resolves")
+	b.ReportMetric(float64(last.Refreshed), "refreshes")
 }
+
+func benchRefinePass1Body(b *testing.B, workers int) { benchRefinePass1(b, workers, false) }
+
+func benchRefinePass1Recompute(b *testing.B, workers int) { benchRefinePass1(b, workers, true) }
 
 func benchRefinePass2Body(b *testing.B, workers int) {
 	r, st, _ := benchRefineState(b, workers)
+	tr := st.newViolTracker()
 	var stats refineStats
-	if err := st.refinePass1(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+	if err := st.refinePass1(context.Background(), engineWaves{r.eng}, tr, &stats); err != nil {
 		b.Fatal(err)
 	}
 	snaps := snapshotState(st) // pass 2 starts from the repaired state
@@ -64,15 +78,53 @@ func benchRefinePass2Body(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		restoreState(st, snaps)
+		tr.rebuild() // pass 2 mutates the tracker; resweep outside the timer
 		b.StartTimer()
 		var stats refineStats
-		if err := st.refinePass2(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+		if err := st.refinePass2(context.Background(), engineWaves{r.eng}, tr, &stats); err != nil {
 			b.Fatal(err)
 		}
 		last = stats
 	}
 	b.ReportMetric(float64(last.Relaxed), "relaxed")
 }
+
+// benchRefineBarrier isolates one wave barrier's bookkeeping — the cost
+// pass1 pays between repair waves, with the solver out of the picture. The
+// incremental arm touches a wave-sized batch of nets and flushes the
+// tracker into the live graph (O(batch footprint)); the recompute arm is
+// the historical full resweep plus graph rebuild (O(nets × terms)). This
+// is the barrier-cost dimension BENCH_refine.json exists to track: the
+// end-to-end pass1 families bury it under solve time.
+func benchRefineBarrier(b *testing.B, workers int, recompute bool) {
+	_, st, _ := benchRefineState(b, workers)
+	tr := st.newViolTracker()
+	unfixable := make(map[int]bool)
+	g := newConflictGraph(st, tr, unfixable)
+	// A representative wave's mutation set: each batch net re-solved its
+	// least-congested instance or two — touch one instance per violator.
+	viol := tr.violating()
+	batch := make([]*regionInst, 0, 8)
+	for _, net := range viol[:min(8, len(viol))] {
+		batch = append(batch, st.terms[net][0].inst)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if recompute {
+			tr.rebuild()
+			g = newConflictGraph(st, tr, unfixable)
+		} else {
+			for _, in := range batch {
+				tr.touchInst(in)
+			}
+			g.update(tr, tr.flush(), unfixable)
+		}
+	}
+}
+
+func benchRefineBarrierBody(b *testing.B, workers int) { benchRefineBarrier(b, workers, false) }
+
+func benchRefineBarrierRecompute(b *testing.B, workers int) { benchRefineBarrier(b, workers, true) }
 
 // refineBenchFamilies maps family names to bodies — shared by
 // BenchmarkRefine and the -benchjson smoke.
@@ -81,6 +133,9 @@ var refineBenchFamilies = []struct {
 	body func(b *testing.B, workers int)
 }{
 	{"pass1", benchRefinePass1Body},
+	{"pass1-recompute", benchRefinePass1Recompute},
+	{"barrier", benchRefineBarrierBody},
+	{"barrier-recompute", benchRefineBarrierRecompute},
 	{"pass2", benchRefinePass2Body},
 }
 

@@ -50,15 +50,20 @@ func (x serialWaves) wave(ctx context.Context, tasks []func(*engine.Worker) erro
 
 // refinePass1 eliminates crosstalk violations in conflict-graph waves.
 // Each wave repairs a maximal independent set of the most severe violators
-// concurrently; violation state is then recomputed once at the barrier and
-// the graph rebuilt, so later waves see the repaired state exactly as a
-// serial execution would. Nets whose repair loop ends without meeting the
-// budget are marked unfixable and excluded from later graphs.
-func (st *chipState) refinePass1(ctx context.Context, exec waveExec, stats *refineStats) error {
+// concurrently; at the barrier, only the nets incident to the repaired
+// instances have their violation state refreshed (violTracker) and the
+// conflict graph is updated in place from that change set, so later waves
+// see the repaired state exactly as a serial execution would — bit for
+// bit, at a fraction of the O(nets × terms) sweep the recompute arm
+// (st.barrierRecompute, oracle/bench only) still performs. Nets whose
+// repair loop ends without meeting the budget are marked unfixable and
+// dropped from the graph.
+func (st *chipState) refinePass1(ctx context.Context, exec waveExec, tr *violTracker, stats *refineStats) error {
 	unfixable := make(map[int]bool)
-	maxWaves := 4*len(st.violating()) + 16
+	g := newConflictGraph(st, tr, unfixable)
+	maxWaves := 4*tr.count() + 16
 	for wave := 0; wave < maxWaves; wave++ {
-		nodes := st.conflictNodes(unfixable)
+		nodes := g.snapshot()
 		if len(nodes) == 0 {
 			break
 		}
@@ -75,14 +80,15 @@ func (st *chipState) refinePass1(ctx context.Context, exec waveExec, stats *refi
 		type netResult struct {
 			fixed    bool
 			resolves int
+			touched  []*regionInst // instances this net's repair re-solved
 		}
 		results := make([]netResult, len(batch))
 		tasks := make([]func(*engine.Worker) error, len(batch))
 		for i := range batch {
 			i, net := i, batch[i].net
 			tasks[i] = func(w *engine.Worker) error {
-				fixed, resolves, err := st.repairNet(ctx, net, w)
-				results[i] = netResult{fixed: fixed, resolves: resolves}
+				fixed, resolves, touched, err := st.repairNet(ctx, net, w)
+				results[i] = netResult{fixed: fixed, resolves: resolves, touched: touched}
 				return err
 			}
 		}
@@ -99,8 +105,43 @@ func (st *chipState) refinePass1(ctx context.Context, exec waveExec, stats *refi
 				unfixable[batch[i].net] = true
 			}
 		}
+
+		// Barrier bookkeeping: each repaired net mutated exactly the
+		// instances it re-solved (a net's LSK reads only lens and k, and k
+		// changes only through apply), so the nets incident to those
+		// instances are the only ones whose violation state can have moved
+		// (DESIGN.md §10). Touching the re-solved instances — not the whole
+		// batch-net footprints — keeps the dirty set proportional to the
+		// wave's actual mutations.
+		bsp := st.r.trace.Start(st.r.lane, "refine", "barrier update").Arg("wave", int64(wave))
+		if st.barrierRecompute {
+			// Oracle/bench arm: full O(nets × terms) resweep and graph
+			// rebuild — the behavior every wave barrier had before the
+			// incremental tracker. Never taken by the default pipeline.
+			tr.rebuild()
+			g = newConflictGraph(st, tr, unfixable)
+		} else {
+			for i := range batch {
+				for _, in := range results[i].touched {
+					tr.touchInst(in)
+				}
+			}
+			changed := tr.flush()
+			g.update(tr, changed, unfixable)
+			for i := range batch {
+				// A net can turn unfixable without its tracked LSK moving
+				// (its repair loop stalled), so it may be absent from the
+				// change set — drop it from the graph explicitly.
+				if unfixable[batch[i].net] {
+					g.refresh(tr, batch[i].net, unfixable)
+				}
+			}
+		}
+		bsp.End()
 	}
-	stats.unfixable = len(st.violating())
+	stats.unfixable = tr.count()
+	stats.GraphDropped += g.dropped
+	stats.GraphAdded += g.added
 	return nil
 }
 
@@ -112,8 +153,8 @@ func (st *chipState) refinePass1(ctx context.Context, exec waveExec, stats *refi
 // state live, so a plan whose slack an earlier acceptance consumed is
 // simply reverted — "until no reduction on the slacks is possible without
 // causing crosstalk violations" within one bounded sweep.
-func (st *chipState) refinePass2(ctx context.Context, exec waveExec, stats *refineStats) error {
-	if len(st.violating()) > 0 {
+func (st *chipState) refinePass2(ctx context.Context, exec waveExec, tr *violTracker, stats *refineStats) error {
+	if tr.count() > 0 {
 		// Acceptance requires a violation-free chip, so with unfixable nets
 		// left over from pass 1 every plan would be speculated and then
 		// reverted — skip the wave outright (byte-identical chip state).
@@ -137,7 +178,7 @@ func (st *chipState) refinePass2(ctx context.Context, exec waveExec, stats *refi
 	for i := range cands {
 		i, in := i, cands[i]
 		tasks[i] = func(w *engine.Worker) error {
-			p, err := st.speculateRelax(in, w)
+			p, err := st.speculateRelax(tr, in, w)
 			plans[i] = p
 			return err
 		}
@@ -157,7 +198,7 @@ func (st *chipState) refinePass2(ctx context.Context, exec waveExec, stats *refi
 		}
 		stats.resolves++
 		stats.Relaxed++
-		if st.acceptOrRevert(&plans[i]) {
+		if st.acceptOrRevert(tr, &plans[i]) {
 			stats.Accepted++
 		} else {
 			stats.Reverted++

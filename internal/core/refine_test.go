@@ -150,7 +150,7 @@ func TestRefinePass1TightensBounds(t *testing.T) {
 		t.Fatal("fixture produced no violations to repair")
 	}
 	var stats refineStats
-	if err := st.refinePass1(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+	if err := st.refinePass1(context.Background(), engineWaves{r.eng}, st.newViolTracker(), &stats); err != nil {
 		t.Fatal(err)
 	}
 	if len(st.violating()) >= before {
@@ -170,14 +170,15 @@ func TestRefinePass2NeverCreatesViolations(t *testing.T) {
 	// this asserts the precondition instead of skipping past it.
 	r, st := ibmRefineFixture(t, 16, 0.5, 1, Params{})
 	var stats refineStats
-	if err := st.refinePass1(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+	tr := st.newViolTracker()
+	if err := st.refinePass1(context.Background(), engineWaves{r.eng}, tr, &stats); err != nil {
 		t.Fatal(err)
 	}
 	if left := len(st.violating()); left != 0 {
 		t.Fatalf("pass 1 left %d violations on a fixture it is known to fully repair", left)
 	}
 	shieldsBefore := st.shieldCount()
-	if err := st.refinePass2(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+	if err := st.refinePass2(context.Background(), engineWaves{r.eng}, tr, &stats); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(st.violating()); got != 0 {
@@ -195,11 +196,12 @@ func TestRefinePass2RevertRestoresState(t *testing.T) {
 	// revert several relaxations, so the branch genuinely executes.
 	r, st := ibmRefineFixture(t, 16, 0.5, 1, Params{})
 	var stats refineStats
-	if err := st.refinePass1(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+	tr := st.newViolTracker()
+	if err := st.refinePass1(context.Background(), engineWaves{r.eng}, tr, &stats); err != nil {
 		t.Fatal(err)
 	}
 	snaps := snapshotState(st)
-	if err := st.refinePass2(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+	if err := st.refinePass2(context.Background(), engineWaves{r.eng}, tr, &stats); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Reverted == 0 {
@@ -230,7 +232,8 @@ func TestAcceptOrRevertOnViolatingRelaxation(t *testing.T) {
 	// shield count) triggers the revert and that the revert is exact.
 	r, st := ibmRefineFixture(t, 16, 0.5, 1, Params{})
 	var stats refineStats
-	if err := st.refinePass1(context.Background(), engineWaves{r.eng}, &stats); err != nil {
+	tr := st.newViolTracker()
+	if err := st.refinePass1(context.Background(), engineWaves{r.eng}, tr, &stats); err != nil {
 		t.Fatal(err)
 	}
 	if len(st.violating()) != 0 {
@@ -245,7 +248,7 @@ func TestAcceptOrRevertOnViolatingRelaxation(t *testing.T) {
 		if in.sol == nil || in.sol.NumShields() == 0 {
 			continue
 		}
-		p, err := st.speculateRelax(in, w)
+		p, err := st.speculateRelax(tr, in, w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,10 +256,12 @@ func TestAcceptOrRevertOnViolatingRelaxation(t *testing.T) {
 			continue // acceptance would fail on the shield count; not this test's branch
 		}
 		snaps := snapshotState(st)
-		if st.acceptOrRevert(&p) {
+		if st.acceptOrRevert(tr, &p) {
 			// Accepted relaxations are legitimate; undo and keep looking for
-			// one the violation check rejects.
+			// one the violation check rejects; the restore invalidates the
+			// tracker's accepted-state bookkeeping, so resweep it.
 			restoreState(st, snaps)
+			tr.rebuild()
 			continue
 		}
 		for i, inst := range st.orderd {

@@ -35,11 +35,15 @@ func (o *Outcome) Snapshot() obs.Snapshot {
 		Route: obs.RouteStats{
 			Shards: o.Route.Shards, LargestShard: o.Route.LargestShard,
 			Reconciled: o.Route.Reconciled, ReconcileRounds: o.Route.ReconcileRounds,
+			SeedChunks:          o.Route.SeedChunks,
+			ReconcileComponents: o.Route.ReconcileComponents,
+			LargestComponent:    o.Route.LargestComponent,
 		},
 		Refine: obs.RefineStats{
 			Waves: o.Refine.Waves, MaxWave: o.Refine.MaxWave, MaxColors: o.Refine.MaxColors,
 			Resolves: o.Refinements, Unfixable: o.Unfixable,
 			Relaxed: o.Refine.Relaxed, Accepted: o.Refine.Accepted, Reverted: o.Refine.Reverted,
+			Refreshed: o.Refine.Refreshed, GraphDropped: o.Refine.GraphDropped, GraphAdded: o.Refine.GraphAdded,
 		},
 		Cache: obs.CacheStats{
 			Dense: o.Cache.Dense, Overflow: o.Cache.Overflow,

@@ -1,0 +1,32 @@
+package engine
+
+import "context"
+
+// MapChunks fans body out over the index space [0, n) in fixed-size
+// chunks on the bounded pool: chunk c covers [c·chunk, min((c+1)·chunk,
+// n)). It is the reusable chunked-map primitive behind the data-parallel
+// loops whose per-item work is too small to schedule individually —
+// Phase I's router seeding and tree extraction chunk their per-net work
+// this way (route.ChunkedPool).
+//
+// Chunk boundaries are a pure function of (n, chunk), never of the worker
+// count, so any two executions hand body identical ranges — callers that
+// write only to chunk-indexed or range-disjoint slots stay deterministic.
+// MapChunks is a barrier with RunTasks' error contract: first body error
+// in chunk order, or the context's error on cancellation (unstarted
+// chunks are skipped). Bodies must not share mutable state across chunks.
+func (e *Engine) MapChunks(ctx context.Context, cat string, n, chunk int, body func(c, lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nChunks := (n + chunk - 1) / chunk
+	tasks := make([]func() error, nChunks)
+	for c := 0; c < nChunks; c++ {
+		c, lo := c, c*chunk
+		tasks[c] = func() error { return body(c, lo, min(lo+chunk, n)) }
+	}
+	return e.RunTasksLabeled(ctx, cat, nil, tasks)
+}

@@ -82,10 +82,18 @@ type EvalStats struct {
 	Binds, Loads, Edits, Rollbacks uint64
 }
 
-// RouteStats mirrors route.RunStats: Phase I's shard decomposition and
-// boundary-reconciliation traffic.
+// RouteStats mirrors route.RunStats: Phase I's shard decomposition,
+// seeding fan-out, and boundary-reconciliation traffic.
 type RouteStats struct {
 	Shards, LargestShard, Reconciled, ReconcileRounds int
+
+	// SeedChunks counts the chunks per-net graph construction fanned out
+	// over; ReconcileComponents/LargestComponent describe the
+	// bounding-box-overlap components rip-up reconciliation drained
+	// concurrently.
+	SeedChunks          int
+	ReconcileComponents int
+	LargestComponent    int
 }
 
 // RefineStats mirrors core's Phase III counters: pass-1 wave structure and
@@ -94,6 +102,12 @@ type RefineStats struct {
 	Waves, MaxWave, MaxColors   int
 	Resolves, Unfixable         int
 	Relaxed, Accepted, Reverted int
+
+	// Incremental-barrier bookkeeping: per-net LSK refreshes the violation
+	// tracker ran, and conflict-graph vertices dropped/added between waves
+	// instead of rebuilding the graph.
+	Refreshed                int
+	GraphDropped, GraphAdded int
 }
 
 // CacheStats mirrors keff.CacheInfo: pair-cache tier occupancy and
@@ -163,11 +177,14 @@ func (s *Snapshot) Detail(prefix string) string {
 	fmt.Fprintf(&b, "%spair cache: %d dense + %d overflow geometries (sep <= %d, ret <= %d)\n",
 		prefix, k.Dense, k.Overflow, k.SepBound, k.RetBound)
 	r := s.Route
-	fmt.Fprintf(&b, "%sphase I: %d routing shards (largest %d nets), %d nets reconciled in %d rounds\n",
-		prefix, r.Shards, r.LargestShard, r.Reconciled, r.ReconcileRounds)
+	fmt.Fprintf(&b, "%sphase I: %d routing shards (largest %d nets), seeding in %d chunks, %d nets reconciled in %d rounds (%d components, largest %d)\n",
+		prefix, r.Shards, r.LargestShard, r.SeedChunks,
+		r.Reconciled, r.ReconcileRounds, r.ReconcileComponents, r.LargestComponent)
 	if p3 := s.Refine; p3.Waves > 0 || p3.Resolves > 0 || p3.Relaxed > 0 {
 		fmt.Fprintf(&b, "%sphase III: %d repair waves (largest %d nets, %d colors max), %d re-solves; pass 2: %d relaxed, %d accepted, %d reverted\n",
 			prefix, p3.Waves, p3.MaxWave, p3.MaxColors, p3.Resolves, p3.Relaxed, p3.Accepted, p3.Reverted)
+		fmt.Fprintf(&b, "%sbarriers: %d net refreshes, conflict graph -%d/+%d vertices between waves\n",
+			prefix, p3.Refreshed, p3.GraphDropped, p3.GraphAdded)
 	}
 	return b.String()
 }

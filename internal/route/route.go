@@ -40,6 +40,7 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/geom"
@@ -122,12 +123,23 @@ type Result struct {
 
 // RunStats reports how a routing run was scheduled. Sequential Run reports
 // a single shard; RunSharded reports the tile decomposition and the
-// boundary-reconciliation work.
+// boundary-reconciliation work. Every field is a pure function of the
+// input — never of the pool or worker count — so stats participate in the
+// byte-equality determinism contract alongside trees and usage.
 type RunStats struct {
 	Shards          int // tile groups drained independently
 	LargestShard    int // nets in the most populated group
 	Reconciled      int // net re-routes performed by reconciliation rounds
 	ReconcileRounds int // reconciliation rounds that ran
+
+	// SeedChunks is the chunk count per-net graph construction fanned out
+	// over (ceil(nets/seedChunk), identical with or without a pool).
+	SeedChunks int
+	// ReconcileComponents counts the boundary-overflow connected
+	// components reconciled across all rounds; LargestComponent is the
+	// net count of the biggest one (the serial grain of reconciliation).
+	ReconcileComponents int
+	LargestComponent    int
 }
 
 // TotalWirelengthUM sums tree wirelengths.
@@ -180,6 +192,9 @@ type Router struct {
 
 	nets []netState
 
+	// seedChunks records how construction was chunked (RunStats.SeedChunks).
+	seedChunks int
+
 	// Per-region expected utilization per direction: segment count and
 	// sensitivity-rate sums feeding Formula (3).
 	nnsH, nnsV     []float64
@@ -229,8 +244,33 @@ func (h *edgeHeap) Pop() interface{} {
 	return it
 }
 
-// NewRouter prepares the deletion state for the nets on g.
+// NewRouter prepares the deletion state for the nets on g, constructing
+// every net's connection graph serially — NewRouterOn with no pool.
 func NewRouter(g *grid.Grid, cfg Config, nets []Net) (*Router, error) {
+	return NewRouterOn(context.Background(), g, cfg, nets, nil)
+}
+
+// seedChunk is the net count each parallel graph-construction task
+// handles. Chunk boundaries are a pure function of the net count, so the
+// chunking never shows in the result.
+const seedChunk = 256
+
+// NewRouterOn prepares the deletion state with per-net construction
+// fanned out over pool (nil routes everything serially). Construction
+// splits into two parts:
+//
+//   - Pure per-net work — pin dedup, bounding box, RSMT length estimate,
+//     spine BFS, edge-liveness arrays — reads only the immutable grid and
+//     writes a disjoint slot of the net table, so it runs chunked on the
+//     pool (this is the bulk of seeding cost: Steiner topology + BFS per
+//     net).
+//   - Order-dependent work — expected-utilization seeding and each net's
+//     initial edge weights, where net i's weights read the base state
+//     left by nets 0..i — stays serial in net order.
+//
+// The split makes the constructed Router byte-identical to serial
+// construction at any worker count.
+func NewRouterOn(ctx context.Context, g *grid.Grid, cfg Config, nets []Net, pool Pool) (*Router, error) {
 	if g == nil {
 		return nil, fmt.Errorf("route: nil grid")
 	}
@@ -254,13 +294,29 @@ func NewRouter(g *grid.Grid, cfg Config, nets []Net) (*Router, error) {
 		if net.Rate < 0 || net.Rate > 1 {
 			return nil, fmt.Errorf("route: net %d sensitivity rate %g outside [0,1]", net.ID, net.Rate)
 		}
-		r.addNet(net)
+	}
+	r.nets = make([]netState, len(nets))
+	r.seedChunks = (len(nets) + seedChunk - 1) / seedChunk
+	err := mapChunks(ctx, pool, "seed", len(nets), seedChunk, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			r.nets[i] = r.makeNetState(nets[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range r.nets {
+		r.seedNet(i)
 	}
 	heap.Init(&r.pq)
 	return r, nil
 }
 
-func (r *Router) addNet(net Net) {
+// makeNetState builds one net's connection graph — the pure per-net part
+// of seeding. It reads only the immutable grid, so disjoint nets can be
+// constructed concurrently.
+func (r *Router) makeNetState(net Net) netState {
 	bbox := geom.RectFromPoints(net.Pins)
 	w, h := bbox.Width(), bbox.Height()
 	ns := netState{
@@ -291,10 +347,16 @@ func (r *Router) addNet(net Net) {
 		ns.aliveV[i] = true
 	}
 	ns.nAlive = len(ns.aliveH) + len(ns.aliveV)
-	idx := len(r.nets)
-	r.nets = append(r.nets, ns)
+	return ns
+}
 
-	// Seed expected utilization and the heap.
+// seedNet adds net idx's expected utilization to the base arrays and
+// pushes its edges with initial base weights — the order-dependent tail
+// of construction. Net idx's weights read the base state seeded by nets
+// 0..idx, so callers must invoke seedNet in ascending net order.
+func (r *Router) seedNet(idx int) {
+	ns := &r.nets[idx]
+	bbox := ns.bbox
 	for y := bbox.MinY; y <= bbox.MaxY; y++ {
 		for x := bbox.MinX; x < bbox.MaxX; x++ {
 			r.bumpH(x, y, ns.rate, +0.5)
@@ -307,16 +369,15 @@ func (r *Router) addNet(net Net) {
 			r.bumpV(x, y+1, ns.rate, +0.5)
 		}
 	}
-	ns2 := &r.nets[idx]
 	for y := bbox.MinY; y <= bbox.MaxY; y++ {
 		for x := bbox.MinX; x < bbox.MaxX; x++ {
-			r.pq = append(r.pq, item{net: int32(idx), edge: int32(ns2.hEdge(x, y)), horz: true,
+			r.pq = append(r.pq, item{net: int32(idx), edge: int32(ns.hEdge(x, y)), horz: true,
 				key: r.edgeWeight(idx, x, y, true, nil)})
 		}
 	}
 	for y := bbox.MinY; y < bbox.MaxY; y++ {
 		for x := bbox.MinX; x <= bbox.MaxX; x++ {
-			r.pq = append(r.pq, item{net: int32(idx), edge: int32(ns2.vEdge(x, y)), horz: false,
+			r.pq = append(r.pq, item{net: int32(idx), edge: int32(ns.vEdge(x, y)), horz: false,
 				key: r.edgeWeight(idx, x, y, false, nil)})
 		}
 	}

@@ -90,7 +90,7 @@ func (r *Router) Run() *Result {
 	v.drain()
 	v.merge()
 	res := r.extract()
-	res.Stats = RunStats{Shards: 1, LargestShard: len(r.nets)}
+	res.Stats = RunStats{Shards: 1, LargestShard: len(r.nets), SeedChunks: r.seedChunks}
 	return res
 }
 
@@ -214,8 +214,8 @@ func (r *Router) extract() *Result {
 const extractChunk = 256
 
 // extractParallel materializes trees and usage with the per-net work
-// fanned out over the pool in fixed-size chunks. Chunk boundaries are a
-// pure function of the net count, tree slots are disjoint, and per-chunk
+// fanned out over the pool via mapChunks. Chunk boundaries are a pure
+// function of the net count, tree slots are disjoint, and per-chunk
 // usage tallies hold integer counts, so the summed usage is exact and the
 // result matches sequential extract byte for byte at any worker count.
 func (r *Router) extractParallel(ctx context.Context, pool Pool) (*Result, error) {
@@ -227,20 +227,13 @@ func (r *Router) extractParallel(ctx context.Context, pool Pool) (*Result, error
 		Trees: make([]Tree, n),
 		Usage: grid.NewUsage(r.g),
 	}
-	nChunks := (n + extractChunk - 1) / extractChunk
-	usages := make([]*grid.Usage, nChunks)
-	tasks := make([]func() error, nChunks)
-	for c := 0; c < nChunks; c++ {
-		c := c
-		tasks[c] = func() error {
-			lo := c * extractChunk
-			hi := min(lo+extractChunk, n)
-			usages[c] = grid.NewUsage(r.g)
-			r.extractRange(res.Trees, usages[c], lo, hi)
-			return nil
-		}
-	}
-	if err := runLabeled(ctx, pool, "extract", nil, tasks); err != nil {
+	usages := make([]*grid.Usage, (n+extractChunk-1)/extractChunk)
+	err := mapChunks(ctx, pool, "extract", n, extractChunk, func(c, lo, hi int) error {
+		usages[c] = grid.NewUsage(r.g)
+		r.extractRange(res.Trees, usages[c], lo, hi)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	for _, u := range usages {

@@ -35,6 +35,47 @@ func runLabeled(ctx context.Context, pool Pool, cat string, labels []string, tas
 	return pool.RunTasks(ctx, tasks)
 }
 
+// ChunkedPool is an optional Pool extension: pools with a native
+// fixed-size chunked map over an index space implement it (the engine
+// does — engine.MapChunks). Semantics match mapChunks below.
+type ChunkedPool interface {
+	MapChunks(ctx context.Context, cat string, n, chunk int, body func(c, lo, hi int) error) error
+}
+
+// mapChunks fans body out over [0, n) in fixed-size chunks: natively on a
+// ChunkedPool, as a task batch on any other pool, and serially in chunk
+// order when pool is nil. Chunk boundaries are a pure function of
+// (n, chunk), never of the pool or worker count, so every execution hands
+// body identical ranges — the router's parallel per-net loops (seeding,
+// tree extraction) write only range-disjoint slots and therefore produce
+// identical bytes on every path.
+func mapChunks(ctx context.Context, pool Pool, cat string, n, chunk int, body func(c, lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if pool == nil {
+		for c, lo := 0, 0; lo < n; c, lo = c+1, lo+chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := body(c, lo, min(lo+chunk, n)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if cp, ok := pool.(ChunkedPool); ok {
+		return cp.MapChunks(ctx, cat, n, chunk, body)
+	}
+	nChunks := (n + chunk - 1) / chunk
+	tasks := make([]func() error, nChunks)
+	for c := 0; c < nChunks; c++ {
+		c, lo := c, c*chunk
+		tasks[c] = func() error { return body(c, lo, min(lo+chunk, n)) }
+	}
+	return runLabeled(ctx, pool, cat, nil, tasks)
+}
+
 // ShardConfig tunes RunSharded's tile decomposition. The configuration is
 // part of the algorithm definition: two runs with equal ShardConfig produce
 // byte-identical results at any worker count, but different tilings are
@@ -99,7 +140,7 @@ func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*R
 	cfg = cfg.withDefaults(r.g.Cols, r.g.Rows)
 	groups := r.partition(cfg)
 
-	stats := RunStats{Shards: len(groups)}
+	stats := RunStats{Shards: len(groups), SeedChunks: r.seedChunks}
 	views := make([]*view, len(groups))
 	owner := make([]int32, len(r.nets)) // net index -> group index
 	for gi, nets := range groups {
@@ -175,14 +216,11 @@ func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*R
 		stats.ReconcileRounds++
 		stats.Reconciled += len(ripped)
 		rsp := cfg.Trace.Start(cfg.Lane, "route", "reconcile").Arg("round", int64(round)).Arg("nets", int64(len(ripped)))
-		v := newView(r, r.g.Bounds())
-		for _, ni := range ripped {
-			r.reseed(ni, &v.pq)
-		}
-		heap.Init(&v.pq)
-		v.drain()
-		v.merge()
+		err := r.reconcileRound(ctx, pool, cfg, round, ripped, &stats)
 		rsp.End()
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	xsp := cfg.Trace.Start(cfg.Lane, "route", "tree extraction")
@@ -222,6 +260,126 @@ func (r *Router) partition(cfg ShardConfig) [][]int {
 		}
 	}
 	return groups
+}
+
+// reconcileRound rips up and re-routes one round's overflowed nets,
+// sharded by boundary-region connected components: ripped nets whose
+// bounding boxes transitively overlap form one component, and distinct
+// components touch disjoint region sets — a net's deletion loop reads
+// utilization and writes deltas only inside its own bounding box — so
+// independent overflow clusters reconcile concurrently with the same
+// total-order tie-breaks (DESIGN.md §10: the pop sequence of a merged
+// heap restricted to one component equals that component's own pop
+// sequence, because foreign components never change its weights).
+//
+// Rip-up stays serial in ascending net order: reseed writes the shared
+// base arrays and computes fresh base weights, so its order is part of
+// the algorithm definition. Delta merges run serially in component order;
+// components' nonzero deltas occupy disjoint regions, so merge order
+// cannot change a sum.
+func (r *Router) reconcileRound(ctx context.Context, pool Pool, cfg ShardConfig, round int, ripped []int, stats *RunStats) error {
+	comps := r.components(ripped)
+	stats.ReconcileComponents += len(comps)
+	cviews := make([]*view, len(comps))
+	compOf := make(map[int]int, len(ripped))
+	for ci, members := range comps {
+		if len(members) > stats.LargestComponent {
+			stats.LargestComponent = len(members)
+		}
+		win := r.nets[members[0]].bbox
+		for _, ni := range members[1:] {
+			win = unionRect(win, r.nets[ni].bbox)
+		}
+		cviews[ci] = newView(r, win)
+		for _, ni := range members {
+			compOf[ni] = ci
+		}
+	}
+	for _, ni := range ripped {
+		r.reseed(ni, &cviews[compOf[ni]].pq)
+	}
+	for _, v := range cviews {
+		heap.Init(&v.pq)
+	}
+	if pool == nil || len(cviews) == 1 {
+		for _, v := range cviews {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v.drain()
+		}
+	} else {
+		var labels []string
+		if cfg.Trace.Enabled() {
+			labels = make([]string, len(cviews))
+			for ci := range cviews {
+				labels[ci] = fmt.Sprintf("reconcile %d comp %d (%d nets)", round, ci, len(comps[ci]))
+			}
+		}
+		tasks := make([]func() error, len(cviews))
+		for i := range cviews {
+			v := cviews[i]
+			tasks[i] = func() error { v.drain(); return nil }
+		}
+		if err := runLabeled(ctx, pool, "reconcile", labels, tasks); err != nil {
+			return err
+		}
+	}
+	for _, v := range cviews {
+		v.merge()
+	}
+	return nil
+}
+
+// components groups the ripped nets into bounding-box-overlap connected
+// components. The grouping is deterministic: components are ordered by
+// their smallest member and members ascend within each (the input is
+// ascending). Pairwise union-find over at most a round's overflow set —
+// quadratic in a count that is already small by construction.
+func (r *Router) components(nets []int) [][]int {
+	parent := make([]int, len(nets))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < len(nets); i++ {
+		for j := i + 1; j < len(nets); j++ {
+			if !rectsOverlap(r.nets[nets[i]].bbox, r.nets[nets[j]].bbox) {
+				continue
+			}
+			ri, rj := find(i), find(j)
+			if ri != rj {
+				if rj < ri {
+					ri, rj = rj, ri
+				}
+				parent[rj] = ri
+			}
+		}
+	}
+	groups := make(map[int]int) // root -> component index
+	var out [][]int
+	for i, ni := range nets {
+		root := find(i)
+		ci, ok := groups[root]
+		if !ok {
+			ci = len(out)
+			groups[root] = ci
+			out = append(out, nil)
+		}
+		out[ci] = append(out[ci], ni)
+	}
+	return out
+}
+
+func rectsOverlap(a, b geom.Rect) bool {
+	return a.MinX <= b.MaxX && b.MinX <= a.MaxX && a.MinY <= b.MaxY && b.MinY <= a.MaxY
 }
 
 // overflowNets returns, in ascending net order, the nets whose trees hold a
