@@ -2,17 +2,26 @@
 // prints the evaluation metrics (violating nets, average wirelength,
 // routing area).
 //
+// With -eco it additionally applies an ECO delta (JSON: nets to remove,
+// move, or add) to the circuit and re-runs the flows on the edited design,
+// re-solving Phase I incrementally against the base run's routed artifact.
+// -ecofull routes the edited design from scratch instead — the output is
+// byte-identical (use -notime when diffing), only slower.
+//
 // Usage:
 //
 //	gsino -circuit ibm01 -flows ID+NO,iSINO,GSINO -rate 0.3 -scale 8
+//	gsino -circuit ibm01 -scale 8 -eco delta.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/ibm"
 	"repro/internal/obs"
@@ -30,6 +39,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print congestion and engine statistics per flow")
 	congBudget := flag.Bool("congestion-budget", false, "use congestion-weighted crosstalk budgeting in GSINO (paper §5 future work)")
 	workers := flag.Int("workers", 0, "engine workers for Phase I shards and Phase II/III solves (0 = one per CPU); results are identical at any setting")
+	artifacts := flag.Bool("artifacts", true, "share routed Phase I artifacts across flows (identically-configured flows route once; results are identical either way)")
+	ecoPath := flag.String("eco", "", "ECO delta JSON file; after the base flows, apply the delta and re-solve incrementally against the cached artifact")
+	ecoFull := flag.Bool("ecofull", false, "with -eco, route the edited design from scratch instead of incrementally (CI comparison; output is byte-identical)")
+	notime := flag.Bool("notime", false, "print '-' for the runtime column (stable output for byte-diffing)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run (chrome://tracing, Perfetto); results are identical with or without")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -60,7 +73,11 @@ func main() {
 		Grid: ckt.Grid,
 		Rate: *rate,
 	}
-	runner, err := core.NewRunner(design, core.Params{VThreshold: *vth, CongestionBudgeting: *congBudget, Workers: *workers, Trace: tracer})
+	params := core.Params{VThreshold: *vth, CongestionBudgeting: *congBudget, Workers: *workers, Trace: tracer}
+	if *artifacts {
+		params.Artifacts = artifact.NewStore(0)
+	}
+	runner, err := core.NewRunner(design, params)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,33 +85,43 @@ func main() {
 	fmt.Printf("%s: %d nets, %dx%d regions (HC=%d VC=%d), rate %.0f%%, scale %d\n",
 		profile.Name, len(ckt.Nets.Nets), ckt.Grid.Cols, ckt.Grid.Rows, ckt.Grid.HC, ckt.Grid.VC,
 		*rate*100, ckt.Scale)
-	fmt.Printf("%-7s %10s %8s %10s %14s %9s %8s %9s\n",
-		"flow", "violations", "viol%", "avgWL(um)", "area(um x um)", "area+%", "shields", "runtime")
+	printColumns()
+	if err := runFlows(runner, *flows, *verbose, *notime); err != nil {
+		log.Fatal(err)
+	}
 
-	var base *core.Outcome
-	for _, name := range strings.Split(*flows, ",") {
-		f := core.Flow(strings.TrimSpace(name))
-		out, err := runner.Run(f)
+	if *ecoPath != "" {
+		data, err := os.ReadFile(*ecoPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if f == core.FlowIDNO {
-			base = out
+		delta, err := artifact.ParseDelta(data)
+		if err != nil {
+			log.Fatal(err)
 		}
-		areaPct := "-"
-		if base != nil && f != core.FlowIDNO {
-			areaPct = fmt.Sprintf("%.2f%%", out.AreaOverheadPct(base))
+		var ecoRunner *core.Runner
+		if *ecoFull {
+			// From-scratch reference arm: same edited design, no resume.
+			edited, err := delta.Apply(design.Nets)
+			if err != nil {
+				log.Fatal(err)
+			}
+			editedDesign := &core.Design{Name: design.Name, Nets: edited, Grid: design.Grid, Rate: design.Rate}
+			ecoRunner, err = core.NewRunner(editedDesign, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			ecoRunner, err = core.NewECORunner(design, delta, params)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
-		fmt.Printf("%-7s %10d %7.2f%% %10.1f %14s %9s %8d %9s\n",
-			out.Flow, out.Violations, out.ViolationPct, float64(out.AvgWL),
-			out.Area.String(), areaPct, out.Shields, out.Runtime.Round(1e6))
-		snap := out.Snapshot()
-		obs.PublishSnapshot(snap)
-		if *verbose {
-			fmt.Print(snap.Detail("        "))
-		}
-		if f == core.FlowGSINO && out.Unfixable > 0 {
-			fmt.Printf("        (GSINO: %d violations unfixable at the K floor)\n", out.Unfixable)
+		fmt.Printf("eco: %d removed, %d moved, %d added\n",
+			len(delta.Remove), len(delta.Move), len(delta.Add))
+		printColumns()
+		if err := runFlows(ecoRunner, *flows, *verbose, *notime); err != nil {
+			log.Fatal(err)
 		}
 	}
 
@@ -104,4 +131,46 @@ func main() {
 		}
 		log.Printf("wrote trace to %s", *tracePath)
 	}
+}
+
+func printColumns() {
+	fmt.Printf("%-7s %10s %8s %10s %14s %9s %8s %9s\n",
+		"flow", "violations", "viol%", "avgWL(um)", "area(um x um)", "area+%", "shields", "runtime")
+}
+
+// runFlows runs the comma-separated flow list on one runner and prints a
+// table row per flow. Area overhead is relative to the runner's own ID+NO
+// row, so the base and ECO blocks are each self-contained.
+func runFlows(runner *core.Runner, flows string, verbose, notime bool) error {
+	var base *core.Outcome
+	for _, name := range strings.Split(flows, ",") {
+		f := core.Flow(strings.TrimSpace(name))
+		out, err := runner.Run(f)
+		if err != nil {
+			return err
+		}
+		if f == core.FlowIDNO {
+			base = out
+		}
+		areaPct := "-"
+		if base != nil && f != core.FlowIDNO {
+			areaPct = fmt.Sprintf("%.2f%%", out.AreaOverheadPct(base))
+		}
+		runtime := "-"
+		if !notime {
+			runtime = out.Runtime.Round(1e6).String()
+		}
+		fmt.Printf("%-7s %10d %7.2f%% %10.1f %14s %9s %8d %9s\n",
+			out.Flow, out.Violations, out.ViolationPct, float64(out.AvgWL),
+			out.Area.String(), areaPct, out.Shields, runtime)
+		snap := out.Snapshot()
+		obs.PublishSnapshot(snap)
+		if verbose {
+			fmt.Print(snap.Detail("        "))
+		}
+		if f == core.FlowGSINO && out.Unfixable > 0 {
+			fmt.Printf("        (GSINO: %d violations unfixable at the K floor)\n", out.Unfixable)
+		}
+	}
+	return nil
 }

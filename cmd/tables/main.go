@@ -27,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/ibm"
 	"repro/internal/obs"
@@ -42,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "benchmark generation seed")
 	csvPath := flag.String("csv", "", "also write raw outcomes to this CSV file")
 	jobs := flag.Int("jobs", 1, "flow cells run concurrently on the batch scheduler (0 = one per CPU); output is identical at any setting")
+	artifacts := flag.Bool("artifacts", true, "share routed Phase I artifacts across cells (each circuit x rate routes at most twice); output is identical either way")
 	workers := flag.Int("workers", 0, "total engine-worker budget, split across concurrent cells (0 = one per CPU); results are identical at any setting")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the batch (chrome://tracing, Perfetto); output is identical with or without")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -86,10 +88,15 @@ func main() {
 	// line one atomic write.
 	console := obs.NewConsole(os.Stderr)
 	set := report.NewSet()
+	var store *artifact.Store
+	if *artifacts {
+		store = artifact.NewStore(0)
+	}
 	cfg := sched.Config{
-		Jobs:    *jobs,
-		Workers: *workers,
-		Trace:   tracer,
+		Jobs:      *jobs,
+		Workers:   *workers,
+		Artifacts: store,
+		Trace:     tracer,
 		OnResult: func(r sched.Result) {
 			if r.Err != nil {
 				return // reported once by FirstError below
@@ -111,6 +118,10 @@ func main() {
 	}
 	if err := sched.FirstError(results); err != nil {
 		log.Fatal(err)
+	}
+	if store != nil {
+		s := store.Stats()
+		console.Printf("route artifacts: %d hits, %d misses, %d evictions\n", s.Hits, s.Misses, s.Evictions)
 	}
 
 	fmt.Println()

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/route"
+)
+
+// sameReport asserts two outcomes agree on every metric that reaches the
+// deterministic tables and CSV. Throughput counters (Engine, Eval,
+// Artifact, ECO, Cache) and timings are deliberately excluded: they
+// describe how the work was done, which caching changes by design.
+func sameReport(t *testing.T, label string, a, b *Outcome) {
+	t.Helper()
+	if a.Flow != b.Flow || a.TotalNets != b.TotalNets {
+		t.Fatalf("%s: outcomes for different problems: %s/%d vs %s/%d",
+			label, a.Flow, a.TotalNets, b.Flow, b.TotalNets)
+	}
+	if a.Violations != b.Violations || a.ViolationPct != b.ViolationPct {
+		t.Errorf("%s %s: violations %d (%.4f%%) vs %d (%.4f%%)",
+			label, a.Flow, a.Violations, a.ViolationPct, b.Violations, b.ViolationPct)
+	}
+	if a.TotalWL != b.TotalWL || a.AvgWL != b.AvgWL {
+		t.Errorf("%s %s: wirelength %v/%v vs %v/%v", label, a.Flow, a.TotalWL, a.AvgWL, b.TotalWL, b.AvgWL)
+	}
+	if a.Area != b.Area || a.NominalArea != b.NominalArea {
+		t.Errorf("%s %s: area %v vs %v", label, a.Flow, a.Area, b.Area)
+	}
+	if a.Shields != b.Shields || a.SegTracks != b.SegTracks {
+		t.Errorf("%s %s: shields/segs %d/%d vs %d/%d", label, a.Flow, a.Shields, a.SegTracks, b.Shields, b.SegTracks)
+	}
+	if a.Refinements != b.Refinements || a.Unfixable != b.Unfixable {
+		t.Errorf("%s %s: refinements %d/%d vs %d/%d", label, a.Flow, a.Refinements, a.Unfixable, b.Refinements, b.Unfixable)
+	}
+	if a.Congestion != b.Congestion {
+		t.Errorf("%s %s: congestion %+v vs %+v", label, a.Flow, a.Congestion, b.Congestion)
+	}
+	if a.Route != b.Route {
+		t.Errorf("%s %s: route stats %+v vs %+v", label, a.Flow, a.Route, b.Route)
+	}
+}
+
+var allFlows = []Flow{FlowIDNO, FlowISINO, FlowGSINO}
+
+// TestArtifactStoreRouteOncePerConfig is the tentpole contract: a runner
+// with a store routes a three-flow cell at most twice (shield-aware and
+// not — ID+NO and iSINO share the unshielded route), and every outcome is
+// identical to the cache-off run.
+func TestArtifactStoreRouteOncePerConfig(t *testing.T) {
+	d := smallDesign(t, 80, 0.4, 7)
+	store := artifact.NewStore(0)
+	cached, err := NewRunner(d, Params{Artifacts: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewRunner(d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range allFlows {
+		co, err := cached.Run(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		po, err := plain.Run(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameReport(t, "cached vs plain", co, po)
+	}
+	s := store.Stats()
+	if s.Misses != 2 || s.Hits != 1 {
+		t.Errorf("three flows: %d misses, %d hits; want 2 misses (unshielded + shield-aware) and 1 hit", s.Misses, s.Hits)
+	}
+	if store.Len() != 2 {
+		t.Errorf("store holds %d artifacts, want 2", store.Len())
+	}
+}
+
+// TestCachedArtifactsSurviveFlows asserts the sealing guard end to end:
+// after Phases II and III consumed the cached results, the sealed
+// artifacts still verify — i.e. the downstream pipeline never mutated the
+// shared *route.Result.
+func TestCachedArtifactsSurviveFlows(t *testing.T) {
+	d := smallDesign(t, 80, 0.5, 9)
+	store := artifact.NewStore(0)
+	r, err := NewRunner(d, Params{Artifacts: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range allFlows {
+		if _, err := r.Run(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nets := r.netsForRouting()
+	for _, shield := range []bool{false, true} {
+		key := artifact.KeyFor(d.Grid, route.Config{ShieldAware: shield}, route.ShardConfig{}, nets)
+		art := store.Peek(key)
+		if art == nil {
+			t.Fatalf("shieldAware=%v: no artifact under the recomputed key", shield)
+		}
+		if _, err := art.Result(); err != nil {
+			t.Errorf("shieldAware=%v: cached artifact mutated by the flows: %v", shield, err)
+		}
+		if art.Drain() == nil {
+			t.Errorf("shieldAware=%v: artifact carries no drain state for ECO resume", shield)
+		}
+	}
+}
+
+// TestBuildStateDoesNotMutateResult pins the immutability assumption the
+// store rests on at its source: buildState, the solver, and refinement
+// leave the routed result bit-identical (verified by fingerprint).
+func TestBuildStateDoesNotMutateResult(t *testing.T) {
+	d := smallDesign(t, 70, 0.5, 10)
+	r, err := NewRunner(d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := r.routeAll(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := artifact.Fingerprint(res)
+	st := r.buildState(res, budgetManhattan)
+	if err := st.solveAll(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.refine(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = st.outcome(FlowGSINO)
+	if artifact.Fingerprint(res) != fp {
+		t.Fatal("buildState/solveAll/refine mutated the routed result")
+	}
+}
+
+// testDelta is a representative ECO: move a net, drop one, add one.
+func testDelta() artifact.Delta {
+	return artifact.Delta{
+		Remove: []int{1},
+		Move: []artifact.Move{{ID: 0, Pins: []netlist.Pin{
+			{Loc: geom.MicronPoint{X: 60, Y: 70}},
+			{Loc: geom.MicronPoint{X: 690, Y: 640}},
+		}}},
+		Add: []netlist.Net{{Pins: []netlist.Pin{
+			{Loc: geom.MicronPoint{X: 120, Y: 520}},
+			{Loc: geom.MicronPoint{X: 400, Y: 180}},
+		}}},
+	}
+}
+
+// TestECORunnerMatchesFromScratch is the end-to-end ECO contract: a runner
+// resuming from the base design's warm artifacts produces outcomes
+// identical to a from-scratch runner on the edited design, at several
+// seeds and worker counts.
+func TestECORunnerMatchesFromScratch(t *testing.T) {
+	delta := testDelta()
+	for _, seed := range []int64{1, 2, 3} {
+		for _, workers := range []int{1, 4} {
+			base := smallDesign(t, 80, 0.4, seed)
+			store := artifact.NewStore(0)
+			p := Params{Workers: workers, Artifacts: store}
+			baseR, err := NewRunner(base, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range allFlows {
+				if _, err := baseR.Run(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			ecoR, err := NewECORunner(base, delta, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edited, err := delta.Apply(base.Nets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refR, err := NewRunner(&Design{Name: base.Name, Nets: edited, Grid: base.Grid, Rate: base.Rate},
+				Params{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, f := range allFlows {
+				eo, err := ecoR.Run(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ro, err := refR.Run(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameReport(t, "eco vs scratch", eo, ro)
+				if i == 0 && eo.ECO.EditedNets == 0 {
+					t.Errorf("seed %d workers %d: first ECO flow shows no edited nets — resume did not run", seed, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestECORunnerColdStore degrades gracefully: with no warm base artifact
+// the ECO runner simply routes the edited design from scratch.
+func TestECORunnerColdStore(t *testing.T) {
+	base := smallDesign(t, 60, 0.4, 4)
+	delta := testDelta()
+	ecoR, err := NewECORunner(base, delta, Params{Artifacts: artifact.NewStore(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo, err := ecoR.Run(FlowIDNO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eo.ECO.EditedNets != 0 {
+		t.Errorf("cold store: ECO accounting %+v, want zero (from-scratch route)", eo.ECO)
+	}
+	edited, err := delta.Apply(base.Nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refR, err := NewRunner(&Design{Name: base.Name, Nets: edited, Grid: base.Grid, Rate: base.Rate}, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := refR.Run(FlowIDNO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, "cold eco vs scratch", eo, ro)
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/geom"
@@ -90,6 +91,17 @@ type Params struct {
 	// byte. The cache must have been sized for the model this runner derives
 	// from Tech (keff.NewPairCacheFor); see DESIGN.md §8.
 	Cache *keff.PairCache
+
+	// Artifacts optionally injects a shared routing-artifact store: Phase I
+	// consults it by content key (netlist, grid, routing params,
+	// shield-awareness) and skips routing entirely on a hit, so the three
+	// flows of one cell perform at most two routes (shield-aware and not)
+	// — and, under the batch scheduler, later cells reuse earlier cells'
+	// routes outright. nil routes every flow from scratch. Like Cache,
+	// sharing never changes a result byte: a hit returns exactly the bytes
+	// the miss sealed, and the determinism contract extends to cache-on vs
+	// cache-off vs ECO runs (DESIGN.md §11).
+	Artifacts *artifact.Store
 
 	// Trace, when enabled, records phase and span events for the whole
 	// flow — Phase I shards and reconciliation, Phase II engine batches,
@@ -179,6 +191,21 @@ type Outcome struct {
 	// every surfaced counter it is worker-count invariant.
 	Eval sino.EvalStats
 
+	// Artifact reports the routing-artifact store's activity during this
+	// flow: lookups served warm, routes computed and sealed, LRU
+	// evictions. Under a shared store the attribution of hits to flows is
+	// schedule-dependent (whichever runner asks first pays the miss), so
+	// like Cache these are reporting-only and never part of the
+	// determinism fingerprint; the per-key totals themselves are invariant
+	// (one miss plus uses−1 hits).
+	Artifact artifact.Stats
+
+	// ECO reports the incremental re-solve's invalidation accounting when
+	// this flow's Phase I resumed from a warm base artifact (zero when it
+	// routed from scratch or hit the cache outright). Reporting-only for
+	// the same attribution reason as Artifact.
+	ECO route.ECOStats
+
 	// Cache introspects the pair-coupling cache at flow end: tier
 	// occupancy and lookup totals. Under the batch scheduler the cache is
 	// shared per technology, so occupancy reflects all cells so far and
@@ -245,6 +272,20 @@ type Runner struct {
 
 	trace *obs.Tracer
 	lane  obs.Lane
+
+	// eco, when set (NewECORunner), lets routeAll resume from the base
+	// design's warm artifact instead of routing the edited design from
+	// scratch; ecoLast holds the most recent resume's accounting until the
+	// flow's finishStats collects it.
+	eco     *ecoResume
+	ecoLast route.ECOStats
+}
+
+// ecoResume is the incremental-re-solve context of an ECO runner: the
+// routing requests of the unedited base design, from which routeAll
+// derives the warm artifact's key.
+type ecoResume struct {
+	baseNets []route.Net
 }
 
 // NewRunner validates the design and prepares shared state.
@@ -278,6 +319,29 @@ func NewRunner(d *Design, p Params) (*Runner, error) {
 		trace:    p.Trace,
 		lane:     lane,
 	}, nil
+}
+
+// NewECORunner prepares a runner for the edited design delta(base): it
+// applies the netlist delta (same name, grid, and rate — an ECO changes
+// nets, not the floorplan) and, when p.Artifacts holds the base design's
+// routed artifact, Phase I resumes incrementally from it — re-draining
+// only the tiles the edit invalidates — instead of routing from scratch.
+// The flow results are byte-identical either way; only the work differs.
+func NewECORunner(base *Design, delta artifact.Delta, p Params) (*Runner, error) {
+	if base == nil || base.Nets == nil || base.Grid == nil {
+		return nil, fmt.Errorf("core: incomplete base design")
+	}
+	edited, err := delta.Apply(base.Nets)
+	if err != nil {
+		return nil, err
+	}
+	d := &Design{Name: base.Name, Nets: edited, Grid: base.Grid, Rate: base.Rate}
+	r, err := NewRunner(d, p)
+	if err != nil {
+		return nil, err
+	}
+	r.eco = &ecoResume{baseNets: routeNetsFor(base)}
+	return r, nil
 }
 
 // Engine exposes the runner's region-solve engine (progress hooks, stats).

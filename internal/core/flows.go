@@ -4,8 +4,10 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/route"
 	"repro/internal/sino"
 )
 
@@ -15,23 +17,34 @@ import (
 // algorithm and stay off the deterministic tables and CSV (timings live on
 // stderr only — the PR 5 contract).
 
-// finishStats closes out the bookkeeping every flow shares: engine and
-// evaluator counters accumulated since the flow started, and a cache
-// introspection snapshot.
+// finishStats closes out the bookkeeping every flow shares: engine,
+// evaluator, and artifact-store counters accumulated since the flow
+// started, a cache introspection snapshot, and the ECO accounting of a
+// resumed Phase I (consumed so it never bleeds into the next flow).
 func (r *Runner) finishStats(o *Outcome, engBase engineBase, start time.Time) {
 	o.Engine = r.eng.Stats().Sub(engBase.stats)
 	o.Eval = r.eng.EvalStats().Sub(engBase.eval)
 	o.Cache = r.eng.Cache().Info()
+	if r.params.Artifacts != nil {
+		o.Artifact = r.params.Artifacts.Stats().Sub(engBase.art)
+	}
+	o.ECO = r.ecoLast
+	r.ecoLast = route.ECOStats{}
 	o.Runtime = time.Since(start)
 }
 
 type engineBase struct {
 	stats engine.Stats
 	eval  sino.EvalStats
+	art   artifact.Stats
 }
 
 func (r *Runner) engineBase() engineBase {
-	return engineBase{stats: r.eng.Stats(), eval: r.eng.EvalStats()}
+	b := engineBase{stats: r.eng.Stats(), eval: r.eng.EvalStats()}
+	if r.params.Artifacts != nil {
+		b.art = r.params.Artifacts.Stats()
+	}
+	return b
 }
 
 // runIDNO is the conventional baseline: wirelength/congestion-driven ID

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/artifact"
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/grid"
@@ -57,39 +58,88 @@ type chipState struct {
 	barrierRecompute bool
 }
 
-// netsForRouting converts the netlist into router requests.
-func (r *Runner) netsForRouting() []route.Net {
-	g := r.design.Grid
-	nets := r.design.Nets.Nets
+// routeNetsFor converts a design's netlist into router requests.
+func routeNetsFor(d *Design) []route.Net {
+	g := d.Grid
+	nets := d.Nets.Nets
+	sens := d.Nets.Sensitivity
 	out := make([]route.Net, len(nets))
 	for i := range nets {
 		pins := make([]geom.Point, len(nets[i].Pins))
 		for j, p := range nets[i].Pins {
 			pins[j] = g.RegionOf(p.Loc)
 		}
-		out[i] = route.Net{ID: i, Pins: pins, Rate: r.sens.Rate(i)}
+		out[i] = route.Net{ID: i, Pins: pins, Rate: sens.Rate(i)}
 	}
 	return out
 }
+
+// netsForRouting converts the runner's netlist into router requests.
+func (r *Runner) netsForRouting() []route.Net { return routeNetsFor(r.design) }
 
 // routeAll runs the ID router — Phase I — sharded across the engine's
 // worker pool, with router seeding itself chunked onto the same pool
 // (route.NewRouterOn). The tile decomposition and the seeding chunking
 // are fixed functions of the design, so the routing result is
 // byte-identical at every worker count.
+//
+// With an artifact store (Params.Artifacts), the route is content-
+// addressed first: a hit skips Phase I entirely and returns the sealed
+// result; a miss routes, captures the resumable drain state, and
+// publishes for every later flow, runner, or batch cell with the same
+// problem. An ECO runner additionally probes for its base design's warm
+// artifact and, when present, re-solves only the invalidated tiles
+// (route.RunShardedResume). All three paths return identical bytes.
 func (r *Runner) routeAll(ctx context.Context, shieldAware bool) (*route.Result, error) {
 	cfg := route.Config{
 		Alpha: r.params.Alpha, Beta: r.params.Beta, Gamma: r.params.Gamma,
 		ShieldAware: shieldAware,
 		Coeffs:      r.params.Coeffs,
 	}
-	ssp := r.trace.Start(r.lane, "route", "router seeding")
-	router, err := route.NewRouterOn(ctx, r.design.Grid, cfg, r.netsForRouting(), r.eng)
-	ssp.End()
+	scfg := route.ShardConfig{Trace: r.trace, Lane: r.lane}
+	store := r.params.Artifacts
+	if store == nil {
+		ssp := r.trace.Start(r.lane, "route", "router seeding")
+		router, err := route.NewRouterOn(ctx, r.design.Grid, cfg, r.netsForRouting(), r.eng)
+		ssp.End()
+		if err != nil {
+			return nil, err
+		}
+		return router.RunSharded(ctx, r.eng, scfg)
+	}
+
+	nets := r.netsForRouting()
+	key := artifact.KeyFor(r.design.Grid, cfg, scfg, nets)
+	lsp := r.trace.Start(r.lane, "route", "artifact lookup")
+	art, _, err := store.Do(ctx, key, func(ctx context.Context) (*artifact.Artifact, error) {
+		if r.eco != nil {
+			baseKey := artifact.KeyFor(r.design.Grid, cfg, scfg, r.eco.baseNets)
+			if base := store.Peek(baseKey); base != nil && base.Drain() != nil {
+				res, ds, es, err := route.RunShardedResume(ctx, r.design.Grid, cfg, nets, r.eng, scfg, base.Drain())
+				if err != nil {
+					return nil, err
+				}
+				r.ecoLast = es
+				return artifact.Seal(key, res, ds), nil
+			}
+		}
+		ssp := r.trace.Start(r.lane, "route", "router seeding")
+		router, err := route.NewRouterOn(ctx, r.design.Grid, cfg, nets, r.eng)
+		ssp.End()
+		if err != nil {
+			return nil, err
+		}
+		res, ds, err := router.RunShardedState(ctx, r.eng, scfg)
+		if err != nil {
+			return nil, err
+		}
+		return artifact.Seal(key, res, ds), nil
+	})
+	lsp.End()
 	if err != nil {
 		return nil, err
 	}
-	return router.RunSharded(ctx, r.eng, route.ShardConfig{Trace: r.trace, Lane: r.lane})
+	return art.Result()
 }
 
 // budgetMode selects how per-segment bounds are derived.

@@ -49,6 +49,14 @@ func (o *Outcome) Snapshot() obs.Snapshot {
 			Dense: o.Cache.Dense, Overflow: o.Cache.Overflow,
 			SepBound: o.Cache.SepBound, RetBound: o.Cache.RetBound,
 		},
+		Artifact: obs.ArtifactStats{
+			Hits: o.Artifact.Hits, Misses: o.Artifact.Misses, Evictions: o.Artifact.Evictions,
+		},
+		ECO: obs.ECOStats{
+			EditedNets: o.ECO.EditedNets, TilesInvalid: o.ECO.TilesInvalid,
+			TilesReused: o.ECO.TilesReused, NetsRerouted: o.ECO.NetsRerouted,
+			NetsReused: o.ECO.NetsReused,
+		},
 		Congestion: obs.CongestionStats{
 			AvgHDensity: o.Congestion.AvgHDensity, AvgVDensity: o.Congestion.AvgVDensity,
 			MaxH: o.Congestion.MaxH, MaxV: o.Congestion.MaxV,

@@ -33,12 +33,14 @@ type Snapshot struct {
 	Runtime time.Duration
 	Phases  PhaseTimes
 
-	Workers int
-	Engine  EngineStats
-	Eval    EvalStats
-	Route   RouteStats
-	Refine  RefineStats
-	Cache   CacheStats
+	Workers  int
+	Engine   EngineStats
+	Eval     EvalStats
+	Route    RouteStats
+	Refine   RefineStats
+	Cache    CacheStats
+	Artifact ArtifactStats
+	ECO      ECOStats
 
 	Congestion CongestionStats
 
@@ -119,6 +121,23 @@ type CacheStats struct {
 	SepBound, RetBound int
 }
 
+// ArtifactStats mirrors artifact.Stats: the routing-artifact store's
+// activity during the flow. Under a shared store the attribution of hits
+// to flows is schedule-dependent, so these are reporting-only.
+type ArtifactStats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// ECOStats mirrors route.ECOStats: the invalidation accounting of an
+// incremental (ECO) re-solve — zero when Phase I routed from scratch.
+type ECOStats struct {
+	EditedNets   int
+	TilesInvalid int
+	TilesReused  int
+	NetsRerouted int
+	NetsReused   int
+}
+
 // WarmStats is the shared cache's lookup counters at cell start — the
 // carryover a batch cell inherits from the cells before it.
 type WarmStats struct {
@@ -180,6 +199,14 @@ func (s *Snapshot) Detail(prefix string) string {
 	fmt.Fprintf(&b, "%sphase I: %d routing shards (largest %d nets), seeding in %d chunks, %d nets reconciled in %d rounds (%d components, largest %d)\n",
 		prefix, r.Shards, r.LargestShard, r.SeedChunks,
 		r.Reconciled, r.ReconcileRounds, r.ReconcileComponents, r.LargestComponent)
+	if a := s.Artifact; a.Hits+a.Misses > 0 {
+		fmt.Fprintf(&b, "%sartifacts: %d hits, %d misses, %d evictions\n",
+			prefix, a.Hits, a.Misses, a.Evictions)
+	}
+	if eco := s.ECO; eco.EditedNets > 0 || eco.TilesInvalid+eco.TilesReused > 0 {
+		fmt.Fprintf(&b, "%seco: %d nets edited, %d/%d tiles invalidated, %d nets re-routed (%d reused)\n",
+			prefix, eco.EditedNets, eco.TilesInvalid, eco.TilesInvalid+eco.TilesReused, eco.NetsRerouted, eco.NetsReused)
+	}
 	if p3 := s.Refine; p3.Waves > 0 || p3.Resolves > 0 || p3.Relaxed > 0 {
 		fmt.Fprintf(&b, "%sphase III: %d repair waves (largest %d nets, %d colors max), %d re-solves; pass 2: %d relaxed, %d accepted, %d reverted\n",
 			prefix, p3.Waves, p3.MaxWave, p3.MaxColors, p3.Resolves, p3.Relaxed, p3.Accepted, p3.Reverted)

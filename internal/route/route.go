@@ -81,6 +81,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Resolved returns the config with every zero value replaced by its
+// default — the exact parameters a router built from c runs under. Two
+// configs with equal Resolved values define the same algorithm, which is
+// what content-addressed artifact keys (internal/artifact) must hash.
+func (c Config) Resolved() Config { return c.withDefaults() }
+
 // Edge is one tree edge between two adjacent regions.
 type Edge struct {
 	From, To geom.Point // From < To in scan order
@@ -192,6 +198,12 @@ type Router struct {
 
 	nets []netState
 
+	// inPins keeps each net's input pin list (as given, duplicates and
+	// order included) so DrainState snapshots can later detect whether a
+	// net's definition changed — spine construction is order-sensitive, so
+	// resume compares raw pin lists, not canonicalized sets.
+	inPins [][]geom.Point
+
 	// seedChunks records how construction was chunked (RunStats.SeedChunks).
 	seedChunks int
 
@@ -275,28 +287,13 @@ func NewRouterOn(ctx context.Context, g *grid.Grid, cfg Config, nets []Net, pool
 		return nil, fmt.Errorf("route: nil grid")
 	}
 	cfg = cfg.withDefaults()
-	r := &Router{
-		g: g, cfg: cfg,
-		nnsH: make([]float64, g.NumRegions()), nnsV: make([]float64, g.NumRegions()),
-		sumSH: make([]float64, g.NumRegions()), sumSV: make([]float64, g.NumRegions()),
-		sumS2H: make([]float64, g.NumRegions()), sumS2V: make([]float64, g.NumRegions()),
+	r := newRouter(g, cfg, len(nets))
+	if err := validateNets(g, nets); err != nil {
+		return nil, err
 	}
-	bounds := g.Bounds()
-	for _, net := range nets {
-		if len(net.Pins) == 0 {
-			return nil, fmt.Errorf("route: net %d has no pin regions", net.ID)
-		}
-		for _, p := range net.Pins {
-			if !bounds.Contains(p) {
-				return nil, fmt.Errorf("route: net %d pin region %v outside grid", net.ID, p)
-			}
-		}
-		if net.Rate < 0 || net.Rate > 1 {
-			return nil, fmt.Errorf("route: net %d sensitivity rate %g outside [0,1]", net.ID, net.Rate)
-		}
+	for i := range nets {
+		r.inPins[i] = nets[i].Pins
 	}
-	r.nets = make([]netState, len(nets))
-	r.seedChunks = (len(nets) + seedChunk - 1) / seedChunk
 	err := mapChunks(ctx, pool, "seed", len(nets), seedChunk, func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			r.nets[i] = r.makeNetState(nets[i])
@@ -311,6 +308,40 @@ func NewRouterOn(ctx context.Context, g *grid.Grid, cfg Config, nets []Net, pool
 	}
 	heap.Init(&r.pq)
 	return r, nil
+}
+
+// newRouter allocates the shared deletion state for n nets on g, with the
+// base utilization arrays zeroed and the canonical seeding chunk count.
+func newRouter(g *grid.Grid, cfg Config, n int) *Router {
+	return &Router{
+		g: g, cfg: cfg,
+		nets:       make([]netState, n),
+		inPins:     make([][]geom.Point, n),
+		seedChunks: (n + seedChunk - 1) / seedChunk,
+		nnsH:       make([]float64, g.NumRegions()), nnsV: make([]float64, g.NumRegions()),
+		sumSH: make([]float64, g.NumRegions()), sumSV: make([]float64, g.NumRegions()),
+		sumS2H: make([]float64, g.NumRegions()), sumS2V: make([]float64, g.NumRegions()),
+	}
+}
+
+// validateNets checks every net's pins and rate against the grid — shared
+// by fresh construction and the ECO resume path.
+func validateNets(g *grid.Grid, nets []Net) error {
+	bounds := g.Bounds()
+	for _, net := range nets {
+		if len(net.Pins) == 0 {
+			return fmt.Errorf("route: net %d has no pin regions", net.ID)
+		}
+		for _, p := range net.Pins {
+			if !bounds.Contains(p) {
+				return fmt.Errorf("route: net %d pin region %v outside grid", net.ID, p)
+			}
+		}
+		if net.Rate < 0 || net.Rate > 1 {
+			return fmt.Errorf("route: net %d sensitivity rate %g outside [0,1]", net.ID, net.Rate)
+		}
+	}
+	return nil
 }
 
 // makeNetState builds one net's connection graph — the pure per-net part
@@ -355,6 +386,15 @@ func (r *Router) makeNetState(net Net) netState {
 // of construction. Net idx's weights read the base state seeded by nets
 // 0..idx, so callers must invoke seedNet in ascending net order.
 func (r *Router) seedNet(idx int) {
+	r.bumpNet(idx)
+	r.pushNet(idx)
+}
+
+// bumpNet adds net idx's full-connection-graph expected utilization to the
+// base arrays — the float-addition half of seedNet. The ECO resume replays
+// exactly this for every net (bit-identical prefix sums) while pushing
+// heap keys only for nets it will actually re-drain.
+func (r *Router) bumpNet(idx int) {
 	ns := &r.nets[idx]
 	bbox := ns.bbox
 	for y := bbox.MinY; y <= bbox.MaxY; y++ {
@@ -369,6 +409,13 @@ func (r *Router) seedNet(idx int) {
 			r.bumpV(x, y+1, ns.rate, +0.5)
 		}
 	}
+}
+
+// pushNet computes net idx's initial edge weights against the current base
+// state and appends them to the global heap slice.
+func (r *Router) pushNet(idx int) {
+	ns := &r.nets[idx]
+	bbox := ns.bbox
 	for y := bbox.MinY; y <= bbox.MaxY; y++ {
 		for x := bbox.MinX; x < bbox.MaxX; x++ {
 			r.pq = append(r.pq, item{net: int32(idx), edge: int32(ns.hEdge(x, y)), horz: true,

@@ -115,6 +115,12 @@ func (c ShardConfig) withDefaults(cols, rows int) ShardConfig {
 	return c
 }
 
+// Resolved returns the tiling a run on a cols×rows grid actually uses, with
+// defaults applied. Because the tiling is part of the algorithm definition,
+// content-addressed artifact keys hash the resolved values (Trace and Lane
+// are observational and excluded).
+func (c ShardConfig) Resolved(cols, rows int) ShardConfig { return c.withDefaults(cols, rows) }
+
 // RunSharded executes the iterative deletion sharded across tile groups:
 //
 //  1. Partition: every net joins the tile containing its bounding-box
@@ -137,8 +143,21 @@ func (c ShardConfig) withDefaults(cols, rows int) ShardConfig {
 // sequential in a fixed order, so the Result is byte-identical whether the
 // pool runs one worker or many. A nil pool drains the groups serially.
 func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*Result, error) {
+	res, _, err := r.runSharded(ctx, pool, cfg, false)
+	return res, err
+}
+
+// RunShardedState is RunSharded plus a DrainState capture: the post-drain,
+// pre-reconciliation snapshot an ECO re-solve (RunShardedResume) can later
+// resume from. The Result is byte-identical to RunSharded's; capture costs
+// one copy of the per-net deletion flags and shares everything immutable.
+func (r *Router) RunShardedState(ctx context.Context, pool Pool, cfg ShardConfig) (*Result, *DrainState, error) {
+	return r.runSharded(ctx, pool, cfg, true)
+}
+
+func (r *Router) runSharded(ctx context.Context, pool Pool, cfg ShardConfig, capture bool) (*Result, *DrainState, error) {
 	cfg = cfg.withDefaults(r.g.Cols, r.g.Rows)
-	groups := r.partition(cfg)
+	groups, tileIDs := r.partition(cfg)
 
 	stats := RunStats{Shards: len(groups), SeedChunks: r.seedChunks}
 	views := make([]*view, len(groups))
@@ -174,7 +193,7 @@ func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*R
 	if pool == nil || len(views) == 1 {
 		for gi, v := range views {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			dsp := cfg.Trace.Start(cfg.Lane, "route", "shard drain").Arg("shard", int64(gi)).Arg("nets", int64(len(groups[gi])))
 			v.drain()
@@ -194,7 +213,7 @@ func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*R
 			tasks[i] = func() error { v.drain(); return nil }
 		}
 		if err := runLabeled(ctx, pool, "shard", labels, tasks); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -205,6 +224,23 @@ func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*R
 	}
 	msp.End()
 
+	var ds *DrainState
+	if capture {
+		ds = r.captureDrainState(cfg, groups, tileIDs, views)
+	}
+
+	res, err := r.finishSharded(ctx, pool, cfg, &stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ds, nil
+}
+
+// finishSharded runs the tail every sharded execution shares — bounded
+// boundary reconciliation, then parallel tree extraction — against the
+// merged global state. The ECO resume path reaches the same code, so a
+// resumed run reconciles and extracts exactly like a from-scratch one.
+func (r *Router) finishSharded(ctx context.Context, pool Pool, cfg ShardConfig, stats *RunStats) (*Result, error) {
 	for round := 0; round < cfg.MaxReconcileRounds; round++ {
 		ripped := r.overflowNets()
 		if len(ripped) == 0 {
@@ -216,7 +252,7 @@ func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*R
 		stats.ReconcileRounds++
 		stats.Reconciled += len(ripped)
 		rsp := cfg.Trace.Start(cfg.Lane, "route", "reconcile").Arg("round", int64(round)).Arg("nets", int64(len(ripped)))
-		err := r.reconcileRound(ctx, pool, cfg, round, ripped, &stats)
+		err := r.reconcileRound(ctx, pool, cfg, round, ripped, stats)
 		rsp.End()
 		if err != nil {
 			return nil, err
@@ -229,19 +265,30 @@ func (r *Router) RunSharded(ctx context.Context, pool Pool, cfg ShardConfig) (*R
 	if err != nil {
 		return nil, err
 	}
-	res.Stats = stats
+	res.Stats = *stats
 	return res, nil
 }
 
 // partition groups net indices by the tile containing their bounding-box
 // center. Groups are emitted in tile scan order with their nets in input
-// order; empty tiles are dropped.
-func (r *Router) partition(cfg ShardConfig) [][]int {
-	tileW := (r.g.Cols + cfg.TileCols - 1) / cfg.TileCols
-	tileH := (r.g.Rows + cfg.TileRows - 1) / cfg.TileRows
+// order, paired with their tile indices; empty tiles are dropped.
+func (r *Router) partition(cfg ShardConfig) ([][]int, []int) {
+	bboxes := make([]geom.Rect, len(r.nets))
+	for i := range r.nets {
+		bboxes[i] = r.nets[i].bbox
+	}
+	return partitionRects(bboxes, cfg, r.g.Cols, r.g.Rows)
+}
+
+// partitionRects is partition over bare bounding boxes — the single
+// implementation, shared with the ECO resume path, which must classify
+// tiles before any net state exists.
+func partitionRects(bboxes []geom.Rect, cfg ShardConfig, cols, rows int) (groups [][]int, tileIDs []int) {
+	tileW := (cols + cfg.TileCols - 1) / cfg.TileCols
+	tileH := (rows + cfg.TileRows - 1) / cfg.TileRows
 	tiles := make([][]int, cfg.TileCols*cfg.TileRows)
-	for ni := range r.nets {
-		b := r.nets[ni].bbox
+	for ni := range bboxes {
+		b := bboxes[ni]
 		tx := ((b.MinX + b.MaxX) / 2) / tileW
 		ty := ((b.MinY + b.MaxY) / 2) / tileH
 		if tx >= cfg.TileCols {
@@ -253,13 +300,13 @@ func (r *Router) partition(cfg ShardConfig) [][]int {
 		t := ty*cfg.TileCols + tx
 		tiles[t] = append(tiles[t], ni)
 	}
-	groups := tiles[:0]
-	for _, nets := range tiles {
+	for t, nets := range tiles {
 		if len(nets) > 0 {
 			groups = append(groups, nets)
+			tileIDs = append(tileIDs, t)
 		}
 	}
-	return groups
+	return groups, tileIDs
 }
 
 // reconcileRound rips up and re-routes one round's overflowed nets,

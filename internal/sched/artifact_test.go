@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/report"
+)
+
+// renderBatchWith mirrors renderBatch but threads an artifact store through
+// the batch config.
+func renderBatchWith(t *testing.T, cells []Cell, jobs, workers int, store *artifact.Store) string {
+	t.Helper()
+	results, err := Run(context.Background(), cells, Config{Jobs: jobs, Workers: workers, Artifacts: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	set := report.NewSet()
+	for _, r := range results {
+		set.Add(r.Outcome)
+	}
+	var b strings.Builder
+	for _, render := range []func(*strings.Builder) error{
+		func(w *strings.Builder) error { return set.Table1(w) },
+		func(w *strings.Builder) error { return set.Table2(w) },
+		func(w *strings.Builder) error { return set.Table3(w) },
+		func(w *strings.Builder) error { return set.Deltas(w) },
+		func(w *strings.Builder) error { return set.CSV(w) },
+	} {
+		if err := render(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// TestBatchArtifactSharing is the batch half of the route-once contract: a
+// shared store lets each design's three flows route at most twice, the
+// per-key totals are schedule-invariant, and the rendered report is
+// byte-identical to the store-less batch at every jobs setting.
+func TestBatchArtifactSharing(t *testing.T) {
+	cells := evalGrid(randomDesign(t, 60, 0.3, 5), randomDesign(t, 60, 0.5, 11))
+	baseline := renderBatchWith(t, cells, 1, 1, nil)
+	for _, jobs := range []int{1, 3} {
+		store := artifact.NewStore(0)
+		if got := renderBatchWith(t, cells, jobs, 4, store); got != baseline {
+			t.Errorf("jobs=%d report with artifact store differs from store-less serial run", jobs)
+		}
+		s := store.Stats()
+		// Two designs x (unshielded + shield-aware) = 4 misses; the other
+		// 2 lookups hit whatever the schedule, by single-flight.
+		if s.Misses != 4 || s.Hits != 2 {
+			t.Errorf("jobs=%d: %d misses, %d hits; want 4 misses, 2 hits", jobs, s.Misses, s.Hits)
+		}
+	}
+}
+
+// TestECOCellMatchesFromScratch: an ECO cell (base design + delta) resumes
+// from the base cells' warm artifacts and still reports exactly what a
+// from-scratch cell on the edited design reports.
+func TestECOCellMatchesFromScratch(t *testing.T) {
+	d := randomDesign(t, 60, 0.4, 8)
+	delta := artifact.Delta{
+		Remove: []int{2},
+		Move: []artifact.Move{{ID: 0, Pins: []netlist.Pin{
+			{Loc: geom.MicronPoint{X: 40, Y: 60}},
+			{Loc: geom.MicronPoint{X: 700, Y: 620}},
+		}}},
+		Add: []netlist.Net{{Pins: []netlist.Pin{
+			{Loc: geom.MicronPoint{X: 150, Y: 500}},
+			{Loc: geom.MicronPoint{X: 420, Y: 200}},
+		}}},
+	}
+	flows := []core.Flow{core.FlowIDNO, core.FlowISINO, core.FlowGSINO}
+	cells := evalGrid(d)
+	for _, f := range flows {
+		cells = append(cells, Cell{Design: d, Flow: f, Delta: &delta})
+	}
+	results, err := Run(context.Background(), cells, Config{Jobs: 1, Artifacts: artifact.NewStore(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if eco := results[3].Outcome.ECO; eco.EditedNets == 0 {
+		t.Errorf("first ECO cell shows no invalidation accounting: %+v — resume did not run", eco)
+	}
+
+	edited, err := delta.Apply(d.Nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed := &core.Design{Name: d.Name, Nets: edited, Grid: d.Grid, Rate: d.Rate}
+	refs, err := Run(context.Background(), evalGrid(ed), Config{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(refs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range flows {
+		eo, ro := results[3+i].Outcome, refs[i].Outcome
+		if eo.Violations != ro.Violations || eo.TotalWL != ro.TotalWL ||
+			eo.Area != ro.Area || eo.Shields != ro.Shields ||
+			eo.SegTracks != ro.SegTracks || eo.Congestion != ro.Congestion ||
+			eo.Route != ro.Route {
+			t.Errorf("%s: ECO cell outcome differs from from-scratch cell:\neco: %+v\nref: %+v",
+				flows[i], eo, ro)
+		}
+	}
+}
+
+// TestCellPrivateStoreWins: a cell carrying its own Params.Artifacts keeps
+// it instead of the batch store — mirroring the Cache and Workers
+// precedence rules.
+func TestCellPrivateStoreWins(t *testing.T) {
+	d := randomDesign(t, 40, 0.3, 2)
+	private := artifact.NewStore(0)
+	shared := artifact.NewStore(0)
+	cells := []Cell{
+		{Design: d, Flow: core.FlowIDNO, Params: core.Params{Artifacts: private}},
+		{Design: d, Flow: core.FlowIDNO},
+	}
+	results, err := Run(context.Background(), cells, Config{Jobs: 1, Artifacts: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	ps, ss := private.Stats(), shared.Stats()
+	if ps.Misses != 1 {
+		t.Errorf("private store saw %d misses, want 1", ps.Misses)
+	}
+	if ss.Misses != 1 || ss.Hits != 0 {
+		t.Errorf("shared store saw %d misses, %d hits; want 1 miss (cell 0 used its own store)", ss.Misses, ss.Hits)
+	}
+}

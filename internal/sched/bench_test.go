@@ -9,6 +9,10 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netlist"
 	"repro/internal/tech"
 )
 
@@ -25,7 +29,11 @@ func benchCells(tb testing.TB) []Cell {
 }
 
 func runBatch(tb testing.TB, cells []Cell, jobs int) []Result {
-	results, err := Run(context.Background(), cells, Config{Jobs: jobs})
+	return runBatchStore(tb, cells, jobs, nil)
+}
+
+func runBatchStore(tb testing.TB, cells []Cell, jobs int, store *artifact.Store) []Result {
+	results, err := Run(context.Background(), cells, Config{Jobs: jobs, Artifacts: store})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -88,6 +96,85 @@ func BenchmarkBatchCacheAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchArtifacts isolates the route-once artifact cache: the same
+// serial evaluation grid with and without a shared store. Each cached
+// iteration starts a fresh store, so the delta is pure intra-batch sharing
+// — every circuit x rate routes twice (shield-aware and not) instead of
+// three times, with outcomes byte-identical by the DESIGN.md §11 contract.
+func BenchmarkBatchArtifacts(b *testing.B) {
+	cells := benchCells(b)
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBatch(b, cells, 1)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		var stats artifact.Stats
+		for i := 0; i < b.N; i++ {
+			store := artifact.NewStore(0)
+			runBatchStore(b, cells, 1, store)
+			stats = store.Stats()
+		}
+		b.ReportMetric(float64(stats.Hits), "hits")
+		b.ReportMetric(float64(stats.Misses), "misses")
+	})
+}
+
+// benchECODelta is the representative edit the ECO benchmarks and smoke
+// share: move one net, drop one, add one.
+func benchECODelta() artifact.Delta {
+	return artifact.Delta{
+		Remove: []int{1},
+		Move: []artifact.Move{{ID: 0, Pins: []netlist.Pin{
+			{Loc: geom.MicronPoint{X: 120, Y: 80}},
+			{Loc: geom.MicronPoint{X: 440, Y: 360}},
+		}}},
+		Add: []netlist.Net{{Pins: []netlist.Pin{
+			{Loc: geom.MicronPoint{X: 60, Y: 60}},
+			{Loc: geom.MicronPoint{X: 220, Y: 300}},
+		}}},
+	}
+}
+
+// ecoCells builds the three ECO flow cells of one base design + delta.
+func ecoCells(d *core.Design, delta *artifact.Delta) []Cell {
+	var cells []Cell
+	for _, f := range []core.Flow{core.FlowIDNO, core.FlowISINO, core.FlowGSINO} {
+		cells = append(cells, Cell{Design: d, Flow: f, Delta: delta})
+	}
+	return cells
+}
+
+// BenchmarkECO measures incremental re-solve turnaround: the three flows
+// on an edited ibm01 routed from scratch (fullrun) versus resumed from the
+// base design's warm artifacts (resume). The base routing that warms the
+// store is excluded from the timed region — it models the prior full run
+// an ECO amortizes against.
+func BenchmarkECO(b *testing.B) {
+	d := ibmDesign(b, "ibm01", 0.3, 16)
+	delta := benchECODelta()
+	b.Run("fullrun", func(b *testing.B) {
+		edited, err := delta.Apply(d.Nets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ed := &core.Design{Name: d.Name, Nets: edited, Grid: d.Grid, Rate: d.Rate}
+		cells := evalGrid(ed)
+		for i := 0; i < b.N; i++ {
+			runBatch(b, cells, 1)
+		}
+	})
+	b.Run("resume", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store := artifact.NewStore(0)
+			runBatchStore(b, evalGrid(d), 1, store) // warm base artifacts
+			b.StartTimer()
+			runBatchStore(b, ecoCells(d, &delta), 1, store)
+		}
+	})
+}
+
 // batchBenchJSON enables the machine-readable batch bench smoke:
 //
 //	go test ./internal/sched -run TestBatchBenchJSON -benchjson BENCH_batch.json
@@ -118,7 +205,37 @@ func TestBatchBenchJSON(t *testing.T) {
 			}
 		})
 		report.Benchmarks[fmt.Sprintf("grid12/jobs%d", jobs)] = res.NsPerOp()
+		res = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runBatchStore(b, cells, jobs, artifact.NewStore(0))
+			}
+		})
+		report.Benchmarks[fmt.Sprintf("grid12-cached/jobs%d", jobs)] = res.NsPerOp()
 	}
+
+	ecoBase := ibmDesign(t, "ibm01", 0.3, 16)
+	delta := benchECODelta()
+	edited, err := delta.Apply(ecoBase.Nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed := &core.Design{Name: ecoBase.Name, Nets: edited, Grid: ecoBase.Grid, Rate: ecoBase.Rate}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBatch(b, evalGrid(ed), 1)
+		}
+	})
+	report.Benchmarks["eco/fullrun"] = res.NsPerOp()
+	res = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store := artifact.NewStore(0)
+			runBatchStore(b, evalGrid(ecoBase), 1, store)
+			b.StartTimer()
+			runBatchStore(b, ecoCells(ecoBase, &delta), 1, store)
+		}
+	})
+	report.Benchmarks["eco/resume"] = res.NsPerOp()
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)

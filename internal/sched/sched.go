@@ -32,6 +32,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/keff"
 	"repro/internal/obs"
@@ -44,6 +45,13 @@ type Cell struct {
 	Design *core.Design
 	Flow   core.Flow
 	Params core.Params
+
+	// Delta, when non-nil, makes this an ECO cell: Design is the BASE
+	// design and the cell runs the flow over Delta applied to it
+	// (core.NewECORunner). With a shared artifact store holding the base
+	// design's routed artifact, Phase I re-solves incrementally; results
+	// are byte-identical to a from-scratch cell on the edited design.
+	Delta *artifact.Delta
 }
 
 // Result is one cell's outcome. Outcome is nil when Err is set. Results
@@ -114,6 +122,15 @@ type Config struct {
 	// cell order (cell i's result is never delivered before cell i-1's),
 	// whatever order cells finished in. Calls are serialized.
 	OnResult func(Result)
+
+	// Artifacts, when non-nil, is the shared routing-artifact store every
+	// cell's runner consults (core.Params.Artifacts): cells of one design
+	// and routing configuration route Phase I once and share the sealed
+	// result — a three-flow cell triple performs at most two routes. A
+	// cell whose Params.Artifacts is already set keeps its own store.
+	// Sharing never changes a result byte (the DESIGN.md §11 contract);
+	// nil leaves caching off.
+	Artifacts *artifact.Store
 
 	// Trace, when enabled, records the batch's cell lifecycle as spans —
 	// one lane per outer runner, one span per cell, with the cell's flow
@@ -187,7 +204,7 @@ func Run(ctx context.Context, cells []Cell, cfg Config) ([]Result, error) {
 					}
 				}
 				csp := cfg.Trace.Start(lane, "sched", name).Arg("cell", int64(i))
-				results[i] = runCell(ctx, i, cells[i], caches[techKey(cells[i].Params)], inner, cfg.Trace, lane)
+				results[i] = runCell(ctx, i, cells[i], caches[techKey(cells[i].Params)], cfg.Artifacts, inner, cfg.Trace, lane)
 				csp.End()
 				inFlight.Add(-1)
 				em.done(i)
@@ -238,9 +255,9 @@ func buildCaches(cells []Cell) map[tech.Technology]*keff.PairCache {
 }
 
 // runCell executes one cell on its own runner, wiring in the shared cache,
-// the split worker budget, and the runner's trace lane (so the cell's flow
-// spans nest under its cell span).
-func runCell(ctx context.Context, i int, c Cell, cache *keff.PairCache, workers int, trace *obs.Tracer, lane obs.Lane) Result {
+// the shared artifact store, the split worker budget, and the runner's
+// trace lane (so the cell's flow spans nest under its cell span).
+func runCell(ctx context.Context, i int, c Cell, cache *keff.PairCache, artifacts *artifact.Store, workers int, trace *obs.Tracer, lane obs.Lane) Result {
 	r := Result{Index: i}
 	if c.Design == nil {
 		r.Err = fmt.Errorf("sched: cell %d has no design", i)
@@ -249,6 +266,9 @@ func runCell(ctx context.Context, i int, c Cell, cache *keff.PairCache, workers 
 	r.WarmHits, r.WarmMisses = cache.Stats()
 	p := c.Params
 	p.Cache = cache
+	if p.Artifacts == nil {
+		p.Artifacts = artifacts
+	}
 	if p.Trace == nil {
 		p.Trace = trace
 		p.TraceLane = lane
@@ -257,7 +277,13 @@ func runCell(ctx context.Context, i int, c Cell, cache *keff.PairCache, workers 
 		p.Workers = workers
 	}
 	r.InnerWorkers = p.Workers
-	runner, err := core.NewRunner(c.Design, p)
+	var runner *core.Runner
+	var err error
+	if c.Delta != nil {
+		runner, err = core.NewECORunner(c.Design, *c.Delta, p)
+	} else {
+		runner, err = core.NewRunner(c.Design, p)
+	}
 	if err != nil {
 		r.Err = fmt.Errorf("sched: cell %d: %w", i, err)
 		return r
