@@ -40,6 +40,7 @@ func main() {
 	congBudget := flag.Bool("congestion-budget", false, "use congestion-weighted crosstalk budgeting in GSINO (paper §5 future work)")
 	workers := flag.Int("workers", 0, "engine workers for Phase I shards and Phase II/III solves (0 = one per CPU); results are identical at any setting")
 	artifacts := flag.Bool("artifacts", true, "share routed Phase I artifacts across flows (identically-configured flows route once; results are identical either way)")
+	artifactDir := flag.String("artifact-dir", "", "persist routed artifacts to this directory and warm-start from it across runs (corrupt or version-skewed files are recomputed; requires -artifacts)")
 	ecoPath := flag.String("eco", "", "ECO delta JSON file; after the base flows, apply the delta and re-solve incrementally against the cached artifact")
 	ecoFull := flag.Bool("ecofull", false, "with -eco, route the edited design from scratch instead of incrementally (CI comparison; output is byte-identical)")
 	notime := flag.Bool("notime", false, "print '-' for the runtime column (stable output for byte-diffing)")
@@ -75,7 +76,17 @@ func main() {
 	}
 	params := core.Params{VThreshold: *vth, CongestionBudgeting: *congBudget, Workers: *workers, Trace: tracer}
 	if *artifacts {
-		params.Artifacts = artifact.NewStore(0)
+		store := artifact.NewStore(0)
+		if *artifactDir != "" {
+			disk, err := artifact.NewDiskStore(*artifactDir, tracer)
+			if err != nil {
+				log.Fatal(err)
+			}
+			store.WithDisk(disk)
+		}
+		params.Artifacts = store
+	} else if *artifactDir != "" {
+		log.Fatal("-artifact-dir requires -artifacts")
 	}
 	runner, err := core.NewRunner(design, params)
 	if err != nil {

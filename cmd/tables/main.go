@@ -44,6 +44,7 @@ func main() {
 	csvPath := flag.String("csv", "", "also write raw outcomes to this CSV file")
 	jobs := flag.Int("jobs", 1, "flow cells run concurrently on the batch scheduler (0 = one per CPU); output is identical at any setting")
 	artifacts := flag.Bool("artifacts", true, "share routed Phase I artifacts across cells (each circuit x rate routes at most twice); output is identical either way")
+	artifactDir := flag.String("artifact-dir", "", "persist routed artifacts to this directory and warm-start from it across runs (corrupt or version-skewed files are recomputed; requires -artifacts)")
 	workers := flag.Int("workers", 0, "total engine-worker budget, split across concurrent cells (0 = one per CPU); results are identical at any setting")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the batch (chrome://tracing, Perfetto); output is identical with or without")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -91,6 +92,15 @@ func main() {
 	var store *artifact.Store
 	if *artifacts {
 		store = artifact.NewStore(0)
+		if *artifactDir != "" {
+			disk, err := artifact.NewDiskStore(*artifactDir, tracer)
+			if err != nil {
+				log.Fatal(err)
+			}
+			store.WithDisk(disk)
+		}
+	} else if *artifactDir != "" {
+		log.Fatal("-artifact-dir requires -artifacts")
 	}
 	cfg := sched.Config{
 		Jobs:      *jobs,
@@ -122,6 +132,10 @@ func main() {
 	if store != nil {
 		s := store.Stats()
 		console.Printf("route artifacts: %d hits, %d misses, %d evictions\n", s.Hits, s.Misses, s.Evictions)
+		if d := s.Disk; d.Total() > 0 {
+			console.Printf("artifact disk: %d hits, %d misses, %d corrupt, %d writes (%d write errors)\n",
+				d.Hits, d.Misses, d.Corrupt, d.Writes, d.WriteErrors)
+		}
 	}
 
 	fmt.Println()

@@ -103,10 +103,18 @@ func Fingerprint(res *route.Result) Key {
 			h.Int(p.Y)
 		}
 	}
+	// H and V are hashed independently, lengths included: a well-formed
+	// result has len(H) == len(V), but Fingerprint also runs on results
+	// decoded from disk, where a corrupt file may disagree — indexing one
+	// slice under the other's range would panic exactly where the code
+	// must instead report a mismatch.
 	h.Int(len(res.Usage.H))
-	for i := range res.Usage.H {
-		h.F64(res.Usage.H[i])
-		h.F64(res.Usage.V[i])
+	for _, u := range res.Usage.H {
+		h.F64(u)
+	}
+	h.Int(len(res.Usage.V))
+	for _, u := range res.Usage.V {
+		h.F64(u)
 	}
 	h.Int(res.Stats.Shards)
 	h.Int(res.Stats.LargestShard)

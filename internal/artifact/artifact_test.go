@@ -325,3 +325,53 @@ func TestParseDelta(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+// TestParseDeltaAddOrderInvariance: adds are assigned IDs positionally by
+// Apply, so ParseDelta must normalize their order — the same delta file
+// with its add entries permuted must produce the identical netlist. A file
+// that adds the same name twice is ambiguous under that normalization and
+// is rejected.
+func TestParseDeltaAddOrderInvariance(t *testing.T) {
+	fwd := []byte(`{"add": [
+		{"name": "eco_b", "pins": [[60, 60], [220, 300]]},
+		{"name": "eco_a", "pins": [[10, 20], [30, 40]]}
+	]}`)
+	rev := []byte(`{"add": [
+		{"name": "eco_a", "pins": [[10, 20], [30, 40]]},
+		{"name": "eco_b", "pins": [[60, 60], [220, 300]]}
+	]}`)
+	df, err := ParseDelta(fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := ParseDelta(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(df, dr) {
+		t.Fatalf("permuted add files parsed differently:\n%+v\n%+v", df, dr)
+	}
+	base := baseNetlist(2)
+	of, err := df.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := dr.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(of, or) {
+		t.Fatal("permuted add files applied to different netlists")
+	}
+	if of.Nets[2].Name != "eco_a" || of.Nets[3].Name != "eco_b" {
+		t.Fatalf("adds not in name order: %s, %s", of.Nets[2].Name, of.Nets[3].Name)
+	}
+
+	dup := []byte(`{"add": [
+		{"name": "eco_a", "pins": [[1, 2]]},
+		{"name": "eco_a", "pins": [[3, 4]]}
+	]}`)
+	if _, err := ParseDelta(dup); err == nil {
+		t.Fatal("duplicate add name accepted")
+	}
+}

@@ -119,7 +119,13 @@ func parsePins(pins [][]float64, what string) ([]netlist.Pin, error) {
 
 // ParseDelta decodes a delta file (see deltaJSON for the shape). Entries
 // are normalized into a deterministic order — removes ascending, moves by
-// ID — so the derived netlist never depends on file-entry ordering.
+// ID, adds by name — so the derived netlist never depends on file-entry
+// ordering. Adds must be normalized too, not just moves and removes:
+// Apply assigns appended net IDs positionally, so an unsorted add list
+// would let two permutations of one delta file produce different net IDs
+// and therefore different route bytes. Duplicate add names are rejected —
+// with them, "sorted by name" would leave the relative order of the
+// duplicates (and thus their IDs) up to the file again.
 func ParseDelta(data []byte) (Delta, error) {
 	var raw deltaJSON
 	if err := json.Unmarshal(data, &raw); err != nil {
@@ -142,6 +148,12 @@ func ParseDelta(data []byte) (Delta, error) {
 			return Delta{}, err
 		}
 		d.Add = append(d.Add, netlist.Net{Name: a.Name, Pins: pins})
+	}
+	sort.Slice(d.Add, func(a, b int) bool { return d.Add[a].Name < d.Add[b].Name })
+	for i := 1; i < len(d.Add); i++ {
+		if d.Add[i].Name == d.Add[i-1].Name {
+			return Delta{}, fmt.Errorf("artifact: delta adds %q twice", d.Add[i].Name)
+		}
 	}
 	return d, nil
 }

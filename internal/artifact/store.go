@@ -13,20 +13,28 @@ import (
 const defaultCapacity = 64
 
 // Stats are the store's cumulative counters. Hit/miss totals per key are
-// schedule-invariant — a key used u times always costs exactly 1 miss and
-// u−1 hits regardless of which runner gets there first, because the
+// schedule-invariant given a fixed disk state — a key used u times costs
+// exactly 1 miss and u−1 hits when cold, or u hits when a valid disk copy
+// exists, regardless of which runner gets there first, because the
 // single-flight leader blocks the others — but the attribution of those
 // hits to individual flows depends on scheduling, so higher layers
 // surface them as reporting-only (the keff.PairCache precedent).
 type Stats struct {
-	Hits      uint64 // lookups served from the store (including waiters)
+	Hits      uint64 // lookups served without computing (memory, waiters, or disk)
 	Misses    uint64 // lookups that computed and published a new artifact
 	Evictions uint64 // artifacts dropped by the LRU bound
+
+	// Disk is the persistent tier's view, zero when none is attached.
+	Disk DiskStats
 }
 
 // Sub returns s minus base, for windowed per-flow deltas.
 func (s Stats) Sub(base Stats) Stats {
-	return Stats{Hits: s.Hits - base.Hits, Misses: s.Misses - base.Misses, Evictions: s.Evictions - base.Evictions}
+	return Stats{
+		Hits: s.Hits - base.Hits, Misses: s.Misses - base.Misses,
+		Evictions: s.Evictions - base.Evictions,
+		Disk:      s.Disk.Sub(base.Disk),
+	}
 }
 
 // Store is a bounded, concurrency-safe, content-addressed artifact cache
@@ -34,13 +42,18 @@ func (s Stats) Sub(base Stats) Stats {
 // leader that computes while the rest block and share the sealed value.
 // One Store may serve every runner of a process (internal/sched passes a
 // shared one to all cells); sharing never changes a result byte, because
-// a hit returns exactly the bytes the miss sealed.
+// a hit returns exactly the bytes the miss sealed. WithDisk layers a
+// persistent tier underneath, extending the same guarantee across process
+// boundaries: a leader's miss falls through to disk, and only a load that
+// survives the full envelope verification (checksum, version, fingerprint,
+// key — see codec.go) is served.
 type Store struct {
 	mu       sync.Mutex
 	capacity int
 	entries  map[Key]*list.Element // -> *entry, in lru
 	lru      *list.List            // front = most recently used
 	inflight map[Key]*flight
+	disk     *DiskStore // optional persistent tier; nil = memory only
 
 	stats Stats
 }
@@ -69,6 +82,15 @@ func NewStore(capacity int) *Store {
 		lru:      list.New(),
 		inflight: make(map[Key]*flight),
 	}
+}
+
+// WithDisk layers a persistent tier under the LRU and returns the store.
+// Misses fall through to disk before computing, fresh seals write through,
+// and Peek loads warm base artifacts across process boundaries. Attach it
+// at construction time, before the store is shared.
+func (s *Store) WithDisk(d *DiskStore) *Store {
+	s.disk = d
+	return s
 }
 
 // Do returns the artifact for key, computing it with compute on a miss.
@@ -107,19 +129,43 @@ func (s *Store) Do(ctx context.Context, key Key, compute func(context.Context) (
 		s.inflight[key] = f
 		s.mu.Unlock()
 
-		art, err := compute(ctx)
-		if err == nil && art == nil {
-			err = fmt.Errorf("artifact: compute returned nil artifact for %s", key)
+		// Leader: fall through to the persistent tier before computing. A
+		// verified disk load is as good as a memory hit — the envelope's
+		// checksum + fingerprint + key checks guarantee it carries exactly
+		// the bytes some earlier compute sealed — so it counts as a hit and
+		// skips the compute entirely. Only a genuine two-tier miss computes,
+		// and the fresh seal writes through (failure to persist is counted
+		// in DiskStats.WriteErrors, never surfaced: the run has its result).
+		var art *Artifact
+		var err error
+		fromDisk := false
+		if s.disk != nil {
+			if got := s.disk.Load(key); got != nil && got.key == key {
+				art, fromDisk = got, true
+			}
 		}
-		if err == nil && art.key != key {
-			err = fmt.Errorf("artifact: compute sealed %s while computing %s", art.key, key)
+		if art == nil {
+			art, err = compute(ctx)
+			if err == nil && art == nil {
+				err = fmt.Errorf("artifact: compute returned nil artifact for %s", key)
+			}
+			if err == nil && art.key != key {
+				err = fmt.Errorf("artifact: compute sealed %s while computing %s", art.key, key)
+			}
+			if err == nil && s.disk != nil {
+				_ = s.disk.Save(art)
+			}
 		}
 		f.art, f.err = art, err
 
 		s.mu.Lock()
 		delete(s.inflight, key)
 		if err == nil {
-			s.stats.Misses++
+			if fromDisk {
+				s.stats.Hits++
+			} else {
+				s.stats.Misses++
+			}
 			s.insertLocked(key, art)
 		}
 		s.mu.Unlock()
@@ -127,7 +173,7 @@ func (s *Store) Do(ctx context.Context, key Key, compute func(context.Context) (
 		if err != nil {
 			return nil, false, err
 		}
-		return art, false, nil
+		return art, fromDisk, nil
 	}
 }
 
@@ -147,16 +193,32 @@ func (s *Store) insertLocked(key Key, art *Artifact) {
 	}
 }
 
-// Peek returns the artifact for key without counting a lookup or touching
-// the LRU order, or nil when absent. The ECO path uses it to probe for a
-// warm base artifact without distorting the hit/miss totals.
+// Peek returns the artifact for key without counting a memory lookup or
+// touching the LRU order, or nil when absent in both tiers. The ECO path
+// uses it to probe for a warm base artifact without distorting the
+// hit/miss totals; the disk fall-through is what lets a second process
+// resume an ECO from a base artifact routed by the first. A disk-loaded
+// artifact is published into the memory tier so later lookups hit there.
 func (s *Store) Peek(key Key) *Artifact {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
-		return el.Value.(*entry).art
+		art := el.Value.(*entry).art
+		s.mu.Unlock()
+		return art
 	}
-	return nil
+	disk := s.disk
+	s.mu.Unlock()
+	if disk == nil {
+		return nil
+	}
+	art := disk.Load(key)
+	if art == nil || art.key != key {
+		return nil
+	}
+	s.mu.Lock()
+	s.insertLocked(key, art)
+	s.mu.Unlock()
+	return art
 }
 
 // Drop removes key from the store, reporting whether it was present.
@@ -178,9 +240,15 @@ func (s *Store) Len() int {
 	return s.lru.Len()
 }
 
-// Stats returns the cumulative counters.
+// Stats returns the cumulative counters, including the persistent tier's
+// when one is attached.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	disk := s.disk
+	s.mu.Unlock()
+	if disk != nil {
+		st.Disk = disk.Stats()
+	}
+	return st
 }

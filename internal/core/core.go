@@ -100,7 +100,9 @@ type Params struct {
 	// routes outright. nil routes every flow from scratch. Like Cache,
 	// sharing never changes a result byte: a hit returns exactly the bytes
 	// the miss sealed, and the determinism contract extends to cache-on vs
-	// cache-off vs ECO runs (DESIGN.md §11).
+	// cache-off vs ECO runs (DESIGN.md §11), and — when the store carries
+	// a persistent tier (artifact.Store.WithDisk) — to cold vs
+	// warm-directory runs across process boundaries.
 	Artifacts *artifact.Store
 
 	// Trace, when enabled, records phase and span events for the whole

@@ -51,6 +51,9 @@ func (o *Outcome) Snapshot() obs.Snapshot {
 		},
 		Artifact: obs.ArtifactStats{
 			Hits: o.Artifact.Hits, Misses: o.Artifact.Misses, Evictions: o.Artifact.Evictions,
+			DiskHits: o.Artifact.Disk.Hits, DiskMisses: o.Artifact.Disk.Misses,
+			DiskCorrupt: o.Artifact.Disk.Corrupt, DiskWrites: o.Artifact.Disk.Writes,
+			DiskWriteErrors: o.Artifact.Disk.WriteErrors,
 		},
 		ECO: obs.ECOStats{
 			EditedNets: o.ECO.EditedNets, TilesInvalid: o.ECO.TilesInvalid,

@@ -122,10 +122,22 @@ type CacheStats struct {
 }
 
 // ArtifactStats mirrors artifact.Stats: the routing-artifact store's
-// activity during the flow. Under a shared store the attribution of hits
-// to flows is schedule-dependent, so these are reporting-only.
+// activity during the flow, including the persistent disk tier's when one
+// is attached (-artifact-dir). Under a shared store the attribution of
+// hits to flows is schedule-dependent, so these are reporting-only.
 type ArtifactStats struct {
 	Hits, Misses, Evictions uint64
+
+	// Disk tier: verified loads, cold misses, files rejected by the
+	// corruption checks (and recomputed), atomic write-throughs.
+	DiskHits, DiskMisses, DiskCorrupt uint64
+	DiskWrites, DiskWriteErrors       uint64
+}
+
+// DiskTotal sums the disk-tier counters — nonzero exactly when a
+// persistent tier was consulted.
+func (a ArtifactStats) DiskTotal() uint64 {
+	return a.DiskHits + a.DiskMisses + a.DiskCorrupt + a.DiskWrites + a.DiskWriteErrors
 }
 
 // ECOStats mirrors route.ECOStats: the invalidation accounting of an
@@ -202,6 +214,10 @@ func (s *Snapshot) Detail(prefix string) string {
 	if a := s.Artifact; a.Hits+a.Misses > 0 {
 		fmt.Fprintf(&b, "%sartifacts: %d hits, %d misses, %d evictions\n",
 			prefix, a.Hits, a.Misses, a.Evictions)
+	}
+	if a := s.Artifact; a.DiskTotal() > 0 {
+		fmt.Fprintf(&b, "%sartifact disk: %d hits, %d misses, %d corrupt, %d writes (%d write errors)\n",
+			prefix, a.DiskHits, a.DiskMisses, a.DiskCorrupt, a.DiskWrites, a.DiskWriteErrors)
 	}
 	if eco := s.ECO; eco.EditedNets > 0 || eco.TilesInvalid+eco.TilesReused > 0 {
 		fmt.Fprintf(&b, "%seco: %d nets edited, %d/%d tiles invalidated, %d nets re-routed (%d reused)\n",

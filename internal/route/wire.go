@@ -1,0 +1,525 @@
+package route
+
+// Wire encoding for Result and DrainState, the two halves of a persisted
+// routing artifact (internal/artifact's disk tier). The format is a flat
+// little-endian byte stream: varints for integers and lengths, IEEE-754
+// bit patterns for floats (a decoded artifact must be *bit*-identical to
+// the sealed one — the determinism contract is byte equality, and resumed
+// ECO merges replay float additions whose order and operands must match
+// exactly), and bit-packed booleans for the per-net edge masks.
+//
+// Versioning, checksumming, and fingerprint verification live one layer
+// up, in internal/artifact's envelope (codec.go). This layer's own
+// obligation is narrower but absolute: decoding NEVER panics and never
+// fabricates a structurally invalid state. Every length is bounds-checked
+// against the remaining input before allocation, and every decoded
+// DrainState invariant the resume path relies on for indexing — bbox
+// inside the grid, mask lengths matching the bbox dimensions, tile
+// windows matching their delta arrays, member indices inside the net
+// slice — is re-validated, so malformed input surfaces as an error, not
+// as memory corruption three phases later.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// ---- append helpers ----
+
+func wireU(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+func wireI(buf []byte, v int) []byte    { return binary.AppendVarint(buf, int64(v)) }
+
+func wireF(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func wireBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// wireBools appends a length prefix and the values packed 8 per byte, LSB
+// first.
+func wireBools(buf []byte, b []bool) []byte {
+	buf = wireU(buf, uint64(len(b)))
+	var acc byte
+	var k uint
+	for _, v := range b {
+		if v {
+			acc |= 1 << k
+		}
+		if k++; k == 8 {
+			buf = append(buf, acc)
+			acc, k = 0, 0
+		}
+	}
+	if k > 0 {
+		buf = append(buf, acc)
+	}
+	return buf
+}
+
+func wireF64s(buf []byte, s []float64) []byte {
+	buf = wireU(buf, uint64(len(s)))
+	for _, v := range s {
+		buf = wireF(buf, v)
+	}
+	return buf
+}
+
+func wireI32s(buf []byte, s []int32) []byte {
+	buf = wireU(buf, uint64(len(s)))
+	for _, v := range s {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return buf
+}
+
+func wireRect(buf []byte, r geom.Rect) []byte {
+	buf = wireI(buf, r.MinX)
+	buf = wireI(buf, r.MinY)
+	buf = wireI(buf, r.MaxX)
+	return wireI(buf, r.MaxY)
+}
+
+func wirePoints(buf []byte, pts []geom.Point) []byte {
+	buf = wireU(buf, uint64(len(pts)))
+	for _, p := range pts {
+		buf = wireI(buf, p.X)
+		buf = wireI(buf, p.Y)
+	}
+	return buf
+}
+
+// ---- bounds-checked reader ----
+
+// wireReader consumes the stream front to back, latching the first error;
+// after a failure every read returns a zero value, so decode loops can
+// run to completion and check err once.
+type wireReader struct {
+	data []byte
+	err  error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("route: wire: "+format, args...)
+	}
+}
+
+func (r *wireReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail("truncated %s", what)
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *wireReader) int(what string) int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		r.fail("truncated %s", what)
+		return 0
+	}
+	r.data = r.data[n:]
+	return int(v)
+}
+
+// count reads a length prefix and rejects any count the remaining input
+// cannot possibly hold (every element encodes to at least one byte), so a
+// corrupted length can never drive a giant allocation.
+func (r *wireReader) count(what string) int {
+	v := r.uvarint(what)
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(len(r.data)) {
+		r.fail("%s count %d exceeds %d remaining bytes", what, v, len(r.data))
+		return 0
+	}
+	return int(v)
+}
+
+func (r *wireReader) f64(what string) float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 8 {
+		r.fail("truncated %s", what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data))
+	r.data = r.data[8:]
+	return v
+}
+
+func (r *wireReader) bool(what string) bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.data) < 1 {
+		r.fail("truncated %s", what)
+		return false
+	}
+	b := r.data[0]
+	r.data = r.data[1:]
+	if b > 1 {
+		r.fail("%s byte %d is not a bool", what, b)
+		return false
+	}
+	return b == 1
+}
+
+func (r *wireReader) bools(what string) []bool {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return nil
+	}
+	nb := (n + 7) / 8
+	if nb > uint64(len(r.data)) {
+		r.fail("%s of %d bits exceeds %d remaining bytes", what, n, len(r.data))
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.data[i/8]&(1<<(i%8)) != 0
+	}
+	r.data = r.data[nb:]
+	return out
+}
+
+func (r *wireReader) f64s(what string) []float64 {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)/8) {
+		r.fail("%s of %d floats exceeds %d remaining bytes", what, n, len(r.data))
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.data[8*i:]))
+	}
+	r.data = r.data[8*n:]
+	return out
+}
+
+func (r *wireReader) i32s(what string) []int32 {
+	n := r.count(what)
+	out := make([]int32, n)
+	for i := range out {
+		v := r.int(what)
+		if r.err != nil {
+			return nil
+		}
+		if int(int32(v)) != v {
+			r.fail("%s element %d overflows int32", what, v)
+			return nil
+		}
+		out[i] = int32(v)
+	}
+	return out
+}
+
+func (r *wireReader) rect(what string) geom.Rect {
+	return geom.Rect{
+		MinX: r.int(what), MinY: r.int(what),
+		MaxX: r.int(what), MaxY: r.int(what),
+	}
+}
+
+func (r *wireReader) points(what string) []geom.Point {
+	n := r.count(what)
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Point{X: r.int(what), Y: r.int(what)}
+	}
+	return out
+}
+
+// ---- Result ----
+
+// AppendWire appends res's wire encoding to buf and returns the extended
+// slice. Usage must be non-nil (every sealed artifact's is).
+func (res *Result) AppendWire(buf []byte) []byte {
+	buf = wireU(buf, uint64(len(res.Trees)))
+	for i := range res.Trees {
+		t := &res.Trees[i]
+		buf = wireI(buf, t.Net)
+		buf = wireU(buf, uint64(len(t.Edges)))
+		for _, e := range t.Edges {
+			buf = wireI(buf, e.From.X)
+			buf = wireI(buf, e.From.Y)
+			buf = wireI(buf, e.To.X)
+			buf = wireI(buf, e.To.Y)
+		}
+		buf = wirePoints(buf, t.Regions)
+	}
+	buf = wireF64s(buf, res.Usage.H)
+	buf = wireF64s(buf, res.Usage.V)
+	st := &res.Stats
+	buf = wireI(buf, st.Shards)
+	buf = wireI(buf, st.LargestShard)
+	buf = wireI(buf, st.Reconciled)
+	buf = wireI(buf, st.ReconcileRounds)
+	buf = wireI(buf, st.SeedChunks)
+	buf = wireI(buf, st.ReconcileComponents)
+	return wireI(buf, st.LargestComponent)
+}
+
+// DecodeResult decodes a Result from the front of data, returning it and
+// the unconsumed tail. Malformed input of any shape returns an error;
+// semantic integrity (the decoded bytes being the sealed bytes) is the
+// caller's fingerprint check.
+func DecodeResult(data []byte) (*Result, []byte, error) {
+	r := &wireReader{data: data}
+	nt := r.count("tree")
+	trees := make([]Tree, nt)
+	for i := 0; i < nt && r.err == nil; i++ {
+		t := &trees[i]
+		t.Net = r.int("tree net")
+		ne := r.count("edge")
+		t.Edges = make([]Edge, ne)
+		for j := 0; j < ne && r.err == nil; j++ {
+			t.Edges[j] = Edge{
+				From: geom.Point{X: r.int("edge"), Y: r.int("edge")},
+				To:   geom.Point{X: r.int("edge"), Y: r.int("edge")},
+			}
+		}
+		t.Regions = r.points("region")
+	}
+	usage := &grid.Usage{H: r.f64s("usage H"), V: r.f64s("usage V")}
+	stats := RunStats{
+		Shards:              r.int("stats"),
+		LargestShard:        r.int("stats"),
+		Reconciled:          r.int("stats"),
+		ReconcileRounds:     r.int("stats"),
+		SeedChunks:          r.int("stats"),
+		ReconcileComponents: r.int("stats"),
+		LargestComponent:    r.int("stats"),
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return &Result{Trees: trees, Usage: usage, Stats: stats}, r.data, nil
+}
+
+// ---- DrainState ----
+
+// maxWireDim bounds decoded grid and tiling dimensions. Real grids are a
+// few hundred regions on a side; the bound exists so corrupted dimensions
+// cannot overflow the index arithmetic the validations below perform.
+const maxWireDim = 1 << 20
+
+// AppendWire appends ds's wire encoding to buf and returns the extended
+// slice. The encoding is complete: DecodeDrainState reconstructs a state
+// that resumes bit-identically to the original (wire_test.go proves it).
+func (ds *DrainState) AppendWire(buf []byte) []byte {
+	c := &ds.cfg
+	buf = wireF(buf, c.Alpha)
+	buf = wireF(buf, c.Beta)
+	buf = wireF(buf, c.Gamma)
+	buf = wireBool(buf, c.ShieldAware)
+	buf = wireF(buf, c.Coeffs.A1)
+	buf = wireF(buf, c.Coeffs.A2)
+	buf = wireF(buf, c.Coeffs.A3)
+	buf = wireF(buf, c.Coeffs.A4)
+	buf = wireF(buf, c.Coeffs.A5)
+	buf = wireF(buf, c.Coeffs.A6)
+	buf = wireI(buf, ds.cols)
+	buf = wireI(buf, ds.rows)
+	buf = wireI(buf, ds.tileCols)
+	buf = wireI(buf, ds.tileRows)
+	buf = wireU(buf, uint64(len(ds.snaps)))
+	for i := range ds.snaps {
+		s := &ds.snaps[i]
+		ns := &s.ns
+		buf = wireI(buf, ns.id)
+		buf = wireRect(buf, ns.bbox)
+		buf = wireI(buf, ns.npins)
+		buf = wireI(buf, ns.nAlive)
+		buf = wireBools(buf, ns.pinMask)
+		buf = wireBools(buf, ns.aliveH)
+		buf = wireBools(buf, ns.aliveV)
+		buf = wireBools(buf, ns.frozenH)
+		buf = wireBools(buf, ns.frozenV)
+		buf = wireF(buf, float64(ns.rsmtUM))
+		buf = wireF(buf, ns.rate)
+		buf = wireF(buf, ns.spineNorm)
+		buf = wireI32s(buf, ns.spineDist)
+		buf = wirePoints(buf, s.pins)
+	}
+	buf = wireU(buf, uint64(len(ds.tiles)))
+	for i := range ds.tiles {
+		t := &ds.tiles[i]
+		buf = wireI(buf, t.tile)
+		buf = wireU(buf, uint64(len(t.members)))
+		for _, m := range t.members {
+			buf = wireI(buf, m)
+		}
+		buf = wireRect(buf, t.win)
+		buf = wireF64s(buf, t.dNnsH)
+		buf = wireF64s(buf, t.dSumSH)
+		buf = wireF64s(buf, t.dSumS2H)
+		buf = wireF64s(buf, t.dNnsV)
+		buf = wireF64s(buf, t.dSumSV)
+		buf = wireF64s(buf, t.dSumS2V)
+	}
+	return buf
+}
+
+// checkWireRect validates that rect lies inside the cols×rows grid.
+func checkWireRect(r *wireReader, rect geom.Rect, cols, rows int, what string) {
+	if rect.MinX < 0 || rect.MinY < 0 || rect.MinX > rect.MaxX || rect.MinY > rect.MaxY ||
+		rect.MaxX >= cols || rect.MaxY >= rows {
+		r.fail("%s bbox [%d,%d]-[%d,%d] outside %dx%d grid", what, rect.MinX, rect.MinY, rect.MaxX, rect.MaxY, cols, rows)
+	}
+}
+
+// DecodeDrainState decodes a DrainState from the front of data, returning
+// it and the unconsumed tail. Beyond stream well-formedness it enforces
+// every structural invariant a resume indexes through — see the file
+// comment — so a successfully decoded state is safe to resume from even
+// if its content is garbage (RunShardedResume's own config/grid/tiling
+// checks then reject states for the wrong problem).
+func DecodeDrainState(data []byte) (*DrainState, []byte, error) {
+	r := &wireReader{data: data}
+	ds := &DrainState{}
+	c := &ds.cfg
+	c.Alpha = r.f64("cfg")
+	c.Beta = r.f64("cfg")
+	c.Gamma = r.f64("cfg")
+	c.ShieldAware = r.bool("cfg")
+	c.Coeffs.A1 = r.f64("cfg")
+	c.Coeffs.A2 = r.f64("cfg")
+	c.Coeffs.A3 = r.f64("cfg")
+	c.Coeffs.A4 = r.f64("cfg")
+	c.Coeffs.A5 = r.f64("cfg")
+	c.Coeffs.A6 = r.f64("cfg")
+	ds.cols = r.int("grid dims")
+	ds.rows = r.int("grid dims")
+	ds.tileCols = r.int("tiling")
+	ds.tileRows = r.int("tiling")
+	if r.err == nil {
+		for _, d := range []int{ds.cols, ds.rows, ds.tileCols, ds.tileRows} {
+			if d < 1 || d > maxWireDim {
+				r.fail("dimension %d outside [1, %d]", d, maxWireDim)
+				break
+			}
+		}
+	}
+
+	nsn := r.count("net snapshot")
+	ds.snaps = make([]netSnap, nsn)
+	for i := 0; i < nsn && r.err == nil; i++ {
+		s := &ds.snaps[i]
+		ns := &s.ns
+		ns.id = r.int("net id")
+		ns.bbox = r.rect("net bbox")
+		ns.npins = r.int("net npins")
+		ns.nAlive = r.int("net nAlive")
+		ns.pinMask = r.bools("pin mask")
+		ns.aliveH = r.bools("aliveH")
+		ns.aliveV = r.bools("aliveV")
+		ns.frozenH = r.bools("frozenH")
+		ns.frozenV = r.bools("frozenV")
+		ns.rsmtUM = geom.Micron(r.f64("net rsmt"))
+		ns.rate = r.f64("net rate")
+		ns.spineNorm = r.f64("net spineNorm")
+		ns.spineDist = r.i32s("spine dist")
+		s.pins = r.points("net pin")
+		if r.err != nil {
+			break
+		}
+		checkWireRect(r, ns.bbox, ds.cols, ds.rows, "net")
+		if r.err != nil {
+			break
+		}
+		ns.w, ns.h = ns.bbox.Width(), ns.bbox.Height()
+		if len(ns.pinMask) != ns.w*ns.h || len(ns.spineDist) != ns.w*ns.h ||
+			len(ns.aliveH) != (ns.w-1)*ns.h || len(ns.aliveV) != ns.w*(ns.h-1) ||
+			len(ns.frozenH) != len(ns.aliveH) || len(ns.frozenV) != len(ns.aliveV) {
+			r.fail("net %d: mask lengths inconsistent with %dx%d bbox", ns.id, ns.w, ns.h)
+			break
+		}
+		if ns.npins < 1 || ns.npins > ns.w*ns.h {
+			r.fail("net %d: %d pins in a %d-vertex bbox", ns.id, ns.npins, ns.w*ns.h)
+			break
+		}
+		if ns.nAlive < 0 || ns.nAlive > len(ns.aliveH)+len(ns.aliveV) {
+			r.fail("net %d: %d alive edges of %d", ns.id, ns.nAlive, len(ns.aliveH)+len(ns.aliveV))
+			break
+		}
+		if len(s.pins) == 0 {
+			r.fail("net %d: no pins", ns.id)
+			break
+		}
+		for _, p := range s.pins {
+			if !ns.bbox.Contains(p) {
+				r.fail("net %d: pin (%d,%d) outside bbox", ns.id, p.X, p.Y)
+				break
+			}
+		}
+	}
+
+	ntl := r.count("tile snapshot")
+	ds.tiles = make([]tileSnap, ntl)
+	for i := 0; i < ntl && r.err == nil; i++ {
+		t := &ds.tiles[i]
+		t.tile = r.int("tile id")
+		nm := r.count("tile member")
+		t.members = make([]int, nm)
+		for j := 0; j < nm && r.err == nil; j++ {
+			t.members[j] = r.int("tile member")
+		}
+		t.win = r.rect("tile window")
+		t.dNnsH = r.f64s("tile deltas")
+		t.dSumSH = r.f64s("tile deltas")
+		t.dSumS2H = r.f64s("tile deltas")
+		t.dNnsV = r.f64s("tile deltas")
+		t.dSumSV = r.f64s("tile deltas")
+		t.dSumS2V = r.f64s("tile deltas")
+		if r.err != nil {
+			break
+		}
+		if t.tile < 0 || t.tile >= ds.tileCols*ds.tileRows {
+			r.fail("tile %d outside %dx%d tiling", t.tile, ds.tileCols, ds.tileRows)
+			break
+		}
+		for _, m := range t.members {
+			if m < 0 || m >= len(ds.snaps) {
+				r.fail("tile %d: member %d outside %d nets", t.tile, m, len(ds.snaps))
+				break
+			}
+		}
+		checkWireRect(r, t.win, ds.cols, ds.rows, "tile window")
+		if r.err != nil {
+			break
+		}
+		n := t.win.Cells()
+		if len(t.dNnsH) != n || len(t.dSumSH) != n || len(t.dSumS2H) != n ||
+			len(t.dNnsV) != n || len(t.dSumSV) != n || len(t.dSumS2V) != n {
+			r.fail("tile %d: delta arrays inconsistent with %d-cell window", t.tile, n)
+			break
+		}
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return ds, r.data, nil
+}

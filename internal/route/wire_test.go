@@ -1,0 +1,142 @@
+package route
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+)
+
+// wireFixture routes a random netlist and returns the result plus its
+// drain state — a realistic encoding subject with multi-pin nets, partial
+// deletion masks, and several populated tiles.
+func wireFixture(t *testing.T, seed int64, dim, nNets int) (*grid.Grid, []Net, *Result, *DrainState) {
+	t.Helper()
+	g, err := grid.New(dim, dim, 100, 100, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := randomNets(seed, nNets, dim, dim)
+	r, err := NewRouter(g, Config{ShieldAware: true}, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ds, err := r.RunShardedState(context.Background(), nil, ShardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, nets, res, ds
+}
+
+// TestResultWireRoundTrip: encode/decode reproduces the Result exactly,
+// floats bit for bit.
+func TestResultWireRoundTrip(t *testing.T) {
+	_, _, res, _ := wireFixture(t, 1, 16, 80)
+	buf := res.AppendWire(nil)
+	dec, rest, err := DecodeResult(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes unconsumed", len(rest))
+	}
+	if !reflect.DeepEqual(dec, res) {
+		t.Fatal("decoded result differs from original")
+	}
+	for i := range res.Usage.H {
+		if math.Float64bits(dec.Usage.H[i]) != math.Float64bits(res.Usage.H[i]) ||
+			math.Float64bits(dec.Usage.V[i]) != math.Float64bits(res.Usage.V[i]) {
+			t.Fatalf("usage region %d not bit-identical", i)
+		}
+	}
+}
+
+// TestDrainWireRoundTrip: encode/decode reproduces the DrainState exactly
+// (reflect.DeepEqual reaches every unexported field).
+func TestDrainWireRoundTrip(t *testing.T) {
+	_, _, _, ds := wireFixture(t, 2, 16, 80)
+	buf := ds.AppendWire(nil)
+	dec, rest, err := DecodeDrainState(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes unconsumed", len(rest))
+	}
+	if !reflect.DeepEqual(dec, ds) {
+		t.Fatal("decoded drain state differs from original")
+	}
+}
+
+// TestDecodedDrainResumesIdentically is the point of the wire format: an
+// ECO resume from a decoded DrainState must be byte-identical to a resume
+// from the original in-memory one — trees, usage, stats, and the chained
+// snapshot — at multiple worker counts. This is what makes a disk-loaded
+// artifact a legitimate ECO base in another process.
+func TestDecodedDrainResumesIdentically(t *testing.T) {
+	g, nets, _, ds := wireFixture(t, 3, 16, 80)
+	buf := ds.AppendWire(nil)
+	dec, _, err := DecodeDrainState(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := mutateNets(3, nets, 16, 16)
+	for _, workers := range []int{0, 4} {
+		var pool Pool
+		if workers > 0 {
+			pool = engine.New(engine.Config{Workers: workers})
+		}
+		refRes, refDS, refES, err := RunShardedResume(context.Background(), g, Config{ShieldAware: true}, edited, pool, ShardConfig{}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRes, gotDS, gotES, err := RunShardedResume(context.Background(), g, Config{ShieldAware: true}, edited, pool, ShardConfig{}, dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, refRes, gotRes, true)
+		if refES != gotES {
+			t.Fatalf("workers %d: ECO stats diverged: %+v vs %+v", workers, refES, gotES)
+		}
+		if !reflect.DeepEqual(refDS, gotDS) {
+			t.Fatalf("workers %d: chained drain states diverged", workers)
+		}
+	}
+}
+
+// TestWireDecodeRobustness: the decoders must never panic on malformed
+// input. Every truncation of a valid stream must error (the grammar only
+// completes at the full length), and arbitrary byte corruption must
+// decode, error, or reject — but never crash. Semantic integrity under
+// corruption is the artifact envelope's checksum, not this layer's job.
+func TestWireDecodeRobustness(t *testing.T) {
+	_, _, res, ds := wireFixture(t, 4, 8, 16)
+	for name, enc := range map[string][]byte{
+		"result": res.AppendWire(nil),
+		"drain":  ds.AppendWire(nil),
+	} {
+		decode := DecodeResultBytes
+		if name == "drain" {
+			decode = DecodeDrainBytes
+		}
+		for i := 0; i < len(enc); i++ {
+			if err := decode(enc[:i]); err == nil {
+				t.Fatalf("%s truncated at %d/%d decoded without error", name, i, len(enc))
+			}
+		}
+		step := len(enc)/512 + 1
+		for i := 0; i < len(enc); i += step {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= 0xa5
+			decode(mut) // must not panic; any error value is acceptable
+		}
+	}
+}
+
+// DecodeResultBytes / DecodeDrainBytes adapt the decoders to one shape
+// for the robustness sweep.
+func DecodeResultBytes(data []byte) error { _, _, err := DecodeResult(data); return err }
+func DecodeDrainBytes(data []byte) error  { _, _, err := DecodeDrainState(data); return err }

@@ -145,3 +145,40 @@ func TestCellPrivateStoreWins(t *testing.T) {
 		t.Errorf("shared store saw %d misses, %d hits; want 1 miss (cell 0 used its own store)", ss.Misses, ss.Hits)
 	}
 }
+
+// TestBatchDiskWarmStart is the acceptance bar for the disk tier at the
+// batch level: a second "process" (fresh store, same directory) renders a
+// byte-identical report at every jobs x workers combination, without
+// routing a single cell.
+func TestBatchDiskWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	cells := evalGrid(randomDesign(t, 60, 0.3, 5), randomDesign(t, 60, 0.5, 11))
+	newStore := func() *artifact.Store {
+		d, err := artifact.NewDiskStore(dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return artifact.NewStore(0).WithDisk(d)
+	}
+
+	cold := newStore()
+	baseline := renderBatchWith(t, cells, 1, 1, cold)
+	if cs := cold.Stats(); cs.Disk.Writes == 0 {
+		t.Fatalf("cold batch wrote nothing to disk: %+v", cs.Disk)
+	}
+	for _, jobs := range []int{1, 4} {
+		for _, workers := range []int{1, 4} {
+			warm := newStore()
+			if got := renderBatchWith(t, cells, jobs, workers, warm); got != baseline {
+				t.Errorf("jobs=%d workers=%d: warm-directory report differs from cold run", jobs, workers)
+			}
+			ws := warm.Stats()
+			if ws.Misses != 0 {
+				t.Errorf("jobs=%d workers=%d: warm batch routed %d cells", jobs, workers, ws.Misses)
+			}
+			if ws.Disk.Hits == 0 {
+				t.Errorf("jobs=%d workers=%d: warm batch never hit disk: %+v", jobs, workers, ws.Disk)
+			}
+		}
+	}
+}

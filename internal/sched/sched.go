@@ -129,7 +129,10 @@ type Config struct {
 	// result — a three-flow cell triple performs at most two routes. A
 	// cell whose Params.Artifacts is already set keeps its own store.
 	// Sharing never changes a result byte (the DESIGN.md §11 contract);
-	// nil leaves caching off.
+	// nil leaves caching off. A store layered over a DiskStore
+	// (artifact.Store.WithDisk) extends the sharing across process
+	// boundaries: a warm cache directory makes the whole batch route-free,
+	// still byte-identical at any Jobs/Workers setting.
 	Artifacts *artifact.Store
 
 	// Trace, when enabled, records the batch's cell lifecycle as spans —
