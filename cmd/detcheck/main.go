@@ -1,0 +1,11 @@
+// Detcheck is the determinism lint suite's command (DESIGN.md §12). It
+// runs standalone (`detcheck ./...`) or as a vet tool
+// (`go vet -vettool=$(which detcheck) ./...`); both modes apply the
+// same analyzers, package scoping, and //detcheck:allow resolution.
+package main
+
+import "repro/internal/lint/multichecker"
+
+func main() {
+	multichecker.Main()
+}

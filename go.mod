@@ -1,3 +1,7 @@
+// Deliberately dependency-free. The detcheck lint suite (internal/lint,
+// cmd/detcheck) would normally pin golang.org/x/tools/go/analysis, but
+// this build environment is offline (no module proxy), so it ships a
+// stdlib-only API-compatible shim instead — see DESIGN.md §12.
 module repro
 
 go 1.24

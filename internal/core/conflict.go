@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/orderutil"
+)
 
 // Phase III pass 1's parallel decomposition rests on a conflict graph over
 // the violating nets: two nets conflict iff their routes share a region
@@ -121,11 +125,7 @@ func (g *conflictGraph) refresh(tr *violTracker, net int, unfixable map[int]bool
 // deterministic order keeps the snapshot directly comparable to a rebuilt
 // graph in the equivalence tests.
 func (g *conflictGraph) snapshot() []conflictNode {
-	nets := make([]int, 0, len(g.nodes))
-	for net := range g.nodes {
-		nets = append(nets, net)
-	}
-	sort.Ints(nets)
+	nets := orderutil.SortedKeys(g.nodes)
 	nodes := make([]conflictNode, len(nets))
 	for i, net := range nets {
 		nodes[i] = g.nodes[net]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"math"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/orderutil"
 	"repro/internal/route"
 	"repro/internal/sino"
 )
@@ -316,17 +318,12 @@ func (r *Runner) buildState(res *route.Result, mode budgetMode) *chipState {
 
 // sortedPoints returns m's keys in (y, x) order.
 func sortedPoints(m map[geom.Point]int) []geom.Point {
-	out := make([]geom.Point, 0, len(m))
-	for p := range m {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Y != out[b].Y {
-			return out[a].Y < out[b].Y
+	return orderutil.SortedKeysFunc(m, func(a, b geom.Point) int {
+		if a.Y != b.Y {
+			return cmp.Compare(a.Y, b.Y)
 		}
-		return out[a].X < out[b].X
+		return cmp.Compare(a.X, b.X)
 	})
-	return out
 }
 
 func (st *chipState) inst(k instKey) *regionInst {

@@ -1,0 +1,152 @@
+// Package allow implements the //detcheck:allow suppression directive
+// for the determinism lint suite (DESIGN.md §12).
+//
+// Grammar:
+//
+//	//detcheck:allow <rule> <justification...>
+//
+// A directive written at the end of a code line suppresses diagnostics
+// of <rule> reported on that line. A directive on a line of its own
+// suppresses diagnostics of <rule> on the immediately following line.
+// The scope is exactly one line in both cases — an allow never carries
+// past the line it names, so each suppressed site needs its own
+// directive and its own written justification.
+//
+// A directive with no justification, or naming a rule the suite does
+// not ship, is itself a diagnostic: suppressions are part of the
+// determinism contract's audit trail and an unexplained one is a
+// contract violation, not a convenience.
+package allow
+
+import (
+	"bytes"
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/orderutil"
+)
+
+// Prefix is the comment marker that introduces a directive.
+const Prefix = "//detcheck:allow"
+
+// DirectiveRule is the pseudo-rule under which malformed directives are
+// reported. It cannot itself be suppressed.
+const DirectiveRule = "detcheck-allow"
+
+// A Directive is one parsed //detcheck:allow comment.
+type Directive struct {
+	Pos           token.Position // position of the comment itself
+	Rule          string         // rule being suppressed
+	Justification string         // non-empty for a well-formed directive
+	File          string         // file the directive applies to
+	Line          int            // line the directive applies to
+}
+
+// Collect parses every //detcheck:allow directive in files. knownRules
+// names the rules the suite ships; a directive naming anything else, or
+// carrying no justification, is returned as a problem diagnostic rather
+// than a Directive.
+func Collect(fset *token.FileSet, files []*ast.File, knownRules map[string]bool) (ds []Directive, problems []analysis.Posn) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, Prefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, Prefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //detcheck:allowance — not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					problems = append(problems, analysis.Posn{
+						Pos:     pos,
+						Rule:    DirectiveRule,
+						Message: "detcheck:allow needs a rule name and a justification: //detcheck:allow <rule> <why>",
+					})
+					continue
+				}
+				rule := fields[0]
+				if !knownRules[rule] {
+					problems = append(problems, analysis.Posn{
+						Pos:     pos,
+						Rule:    DirectiveRule,
+						Message: "detcheck:allow names unknown rule " + strconv(rule) + "; known rules: " + ruleList(knownRules),
+					})
+					continue
+				}
+				just := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), rule))
+				if just == "" {
+					problems = append(problems, analysis.Posn{
+						Pos:     pos,
+						Rule:    DirectiveRule,
+						Message: "detcheck:allow " + rule + " requires a written justification: //detcheck:allow " + rule + " <why>",
+					})
+					continue
+				}
+				line := pos.Line
+				if standalone(pos) {
+					line++
+				}
+				ds = append(ds, Directive{
+					Pos:           pos,
+					Rule:          rule,
+					Justification: just,
+					File:          pos.Filename,
+					Line:          line,
+				})
+			}
+		}
+	}
+	return ds, problems
+}
+
+// standalone reports whether the comment at pos sits on a line of its
+// own (only whitespace before it). Such a directive covers the next
+// line; a trailing directive covers its own. When the source cannot be
+// re-read the directive conservatively covers its own line only.
+func standalone(pos token.Position) bool {
+	src, err := os.ReadFile(pos.Filename)
+	if err != nil {
+		return false
+	}
+	lineStart := pos.Offset - (pos.Column - 1)
+	if lineStart < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return len(bytes.TrimSpace(src[lineStart:pos.Offset])) == 0
+}
+
+// Filter splits diags into the ones that survive and drops any
+// diagnostic whose (rule, file, line) is covered by a directive.
+func Filter(diags []analysis.Posn, ds []Directive) []analysis.Posn {
+	if len(ds) == 0 {
+		return diags
+	}
+	type key struct {
+		rule, file string
+		line       int
+	}
+	covered := make(map[key]bool, len(ds))
+	for _, d := range ds {
+		covered[key{d.Rule, d.File, d.Line}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !covered[key{d.Rule, d.Pos.Filename, d.Pos.Line}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func strconv(s string) string { return "\"" + s + "\"" }
+
+func ruleList(known map[string]bool) string {
+	return strings.Join(orderutil.SortedKeys(known), ", ")
+}

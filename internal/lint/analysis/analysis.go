@@ -1,0 +1,91 @@
+// Package analysis is a stdlib-only mirror of the core API of
+// golang.org/x/tools/go/analysis, providing exactly the surface the
+// detcheck suite needs: an Analyzer descriptor, a per-package Pass with
+// full type information, and position-carrying Diagnostics.
+//
+// Why a mirror and not the real module: the determinism lint suite
+// (DESIGN.md §12) is the repo's first candidate for an external
+// dependency, and the build environment pins a bare module cache with no
+// network egress, so golang.org/x/tools cannot be fetched or vendored
+// here. The types below are field-for-field compatible with their
+// x/tools counterparts for everything detcheck uses — migrating onto the
+// real framework later is a matter of swapping import paths; analyzer
+// Run functions do not change. The one deliberate divergence is that
+// Facts, SuggestedFixes, and the Requires graph are omitted: every
+// detcheck analyzer is a single intra-package pass.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name (which doubles as the rule
+// name accepted by //detcheck:allow), documentation, and a Run function
+// applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph contract the analyzer enforces. The first
+	// line is the summary shown by `detcheck help`.
+	Doc string
+
+	// Run applies the check to a single package and reports findings
+	// through pass.Report. The returned value is ignored by the detcheck
+	// driver (the x/tools signature is kept for drop-in compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// A Pass presents one package to an Analyzer: its syntax, its type
+// information, and a sink for diagnostics. Passes are driver-owned and
+// must not be retained after Run returns.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps every token.Pos in Files to file/line/column.
+	Fset *token.FileSet
+
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo carries the type-checker's results for Files. Defs,
+	// Uses, Types, Selections, and Scopes are always populated.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills in the Analyzer
+	// rule name; analyzers normally call Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Posn is a resolved diagnostic: the same finding with its position
+// materialized, plus the rule (analyzer name) that produced it. The
+// driver produces these; analyzers never construct them.
+type Posn struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the canonical file:line:col form used
+// by vet-family tools.
+func (d Posn) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}

@@ -1,0 +1,261 @@
+// Package analysistest runs detcheck analyzers over seeded-violation
+// fixture packages and checks their diagnostics against expectations
+// written in the fixture source — the stdlib-only counterpart of
+// golang.org/x/tools/go/analysis/analysistest (see internal/lint/analysis
+// for why the real module is unavailable here).
+//
+// Expectations are trailing comments:
+//
+//	for k := range m { // want `nondeterministic`
+//
+// Each quoted string is a regexp that must match the message of a
+// diagnostic reported on that line; every diagnostic must be matched by
+// an expectation and vice versa. A `want-1` form anchors the
+// expectation one line up — needed when the diagnostic lands on a
+// comment line that cannot also carry a want (a malformed
+// //detcheck:allow is one comment; a second // on the same line would
+// be swallowed into its justification).
+//
+// Fixtures live under testdata/ so `go build ./...` and
+// `go vet -vettool` never see their deliberate violations; imports are
+// resolved offline through `go list -export` build-cache export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/allow"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+	"repro/internal/orderutil"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want(-1)?((?:\\s+(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"))+)")
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one want regexp anchored to a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run applies analyzers (plus the //detcheck:allow pipeline) to the
+// fixture package in dir and diffs diagnostics against the fixture's
+// want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	diags := runAnalyzers(t, dir, analyzers...)
+	wants := collectWants(t, dir)
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", d.Pos, d.Rule, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// runAnalyzers type-checks the fixture and returns the suite-filtered
+// diagnostics (allow directives applied, directive problems included).
+func runAnalyzers(t *testing.T, dir string, analyzers ...*analysis.Analyzer) []analysis.Posn {
+	t.Helper()
+	pkg := loadFixture(t, dir)
+	var diags []analysis.Posn
+	for _, a := range analyzers {
+		rule := a.Name
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, analysis.Posn{
+					Pos:     pkg.Fset.Position(d.Pos),
+					Rule:    rule,
+					Message: d.Message,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	directives, problems := allow.Collect(pkg.Fset, pkg.Files, lint.KnownRules())
+	diags = allow.Filter(diags, directives)
+	diags = append(diags, problems...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return diags
+}
+
+// loadFixture parses and type-checks the fixture package in dir,
+// resolving its imports through go list -export build-cache data.
+func loadFixture(t *testing.T, dir string) *load.Package {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(abs, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", abs)
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	// First parse pass purely to discover imports.
+	imports := map[string]bool{}
+	for _, name := range files {
+		f, err := parseImports(fset, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f {
+			imports[imp] = true
+		}
+	}
+	packageFile := map[string]string{}
+	if len(imports) > 0 {
+		paths := orderutil.SortedKeys(imports)
+		listed, err := load.List(moduleRoot(t, abs), paths...)
+		if err != nil {
+			t.Fatalf("resolving fixture imports: %v", err)
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				packageFile[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := load.Importer(fset, packageFile, nil)
+	pkg, err := load.Check(fset, "detfixture/"+filepath.Base(abs), files, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", abs, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+func parseImports(fset *token.FileSet, name string) ([]string, error) {
+	f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, spec := range f.Imports {
+		path, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad import %s: %v", name, spec.Path.Value, err)
+		}
+		out = append(out, path)
+	}
+	return out, nil
+}
+
+// collectWants scans every fixture file for want comments.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(abs, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lineText := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			line := i + 1
+			if m[1] == "-1" {
+				line--
+			}
+			for _, arg := range wantArgRE.FindAllString(m[2], -1) {
+				pat, err := unquoteWant(arg)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", path, line, arg, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, line, pat, err)
+				}
+				wants = append(wants, &expectation{file: path, line: line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func unquoteWant(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	return strconv.Unquote(s)
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(t *testing.T, dir string) string {
+	t.Helper()
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above fixture directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,143 @@
+// Package floatorder defines the detcheck analyzer that forbids
+// floating-point accumulation in nondeterministic iteration order.
+//
+// Float addition is not associative: summing the same values in a
+// different order produces different bits, which is why violTracker and
+// TotalK fix a canonical summation order (ascending partner index,
+// DESIGN.md §6, §10) instead of accumulating as results arrive. The two
+// ways an accumulation order goes nondeterministic are (a) ranging over
+// a map and (b) draining a channel fed by concurrent goroutines — the
+// completion-order trap. The analyzer flags any statement inside such a
+// loop that folds a float into an accumulator declared outside the loop
+// body (`sum += x`, `sum = sum * w`, compound forms under conditionals).
+//
+// The fix is always the same: collect the contributions, order them by
+// a deterministic key, then fold.
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer is the floatorder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatorder",
+	Doc: "forbid float accumulation over map or channel iteration\n\n" +
+		"Summation order changes float bits; accumulate into a slice and fold\n" +
+		"in sorted order instead.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			isMap := lintutil.IsMapType(t)
+			isChan := lintutil.IsChanType(t)
+			if !isMap && !isChan {
+				return true
+			}
+			source := "map"
+			if isChan {
+				source = "channel (goroutine completion order)"
+			}
+			checkBody(pass, rs, source)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody reports float accumulations inside rs's body whose
+// accumulator outlives the loop iteration.
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt, source string) {
+	info := pass.TypesInfo
+	body := rs.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Function literals defer execution; their bodies are separate
+		// schedules and produce enough false positives to drown the
+		// signal. Races there are the race detector's job.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		s, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(s.Lhs) == 1 && isOuterFloat(info, body, s.Lhs[0]) {
+				report(pass, s.Pos(), s.Lhs[0], source)
+			}
+		case token.ASSIGN:
+			// x = x + v / x = v + x / x = x * w forms.
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return true
+			}
+			lhs := s.Lhs[0]
+			if !isOuterFloat(info, body, lhs) {
+				return true
+			}
+			bin, ok := ast.Unparen(s.Rhs[0]).(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				lobj := rootObj(info, lhs)
+				if lobj == nil {
+					return true
+				}
+				if rootObj(info, bin.X) == lobj || rootObj(info, bin.Y) == lobj {
+					report(pass, s.Pos(), lhs, source)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *analysis.Pass, pos token.Pos, acc ast.Expr, source string) {
+	pass.Reportf(pos,
+		"float accumulation into %s over %s iteration: summation order changes the result bits; collect contributions and fold in a deterministically sorted order",
+		types.ExprString(acc), source)
+}
+
+// isOuterFloat reports whether lhs is a float-typed location whose root
+// variable is declared outside body — i.e. an accumulator that survives
+// across iterations.
+func isOuterFloat(info *types.Info, body *ast.BlockStmt, lhs ast.Expr) bool {
+	if !lintutil.IsFloat(info.TypeOf(lhs)) {
+		return false
+	}
+	obj := rootObj(info, lhs)
+	if obj == nil {
+		// Rooted in a call or literal: not a persistent accumulator.
+		return false
+	}
+	pos := obj.Pos()
+	if !pos.IsValid() {
+		return true // universe/field objects: conservatively outer
+	}
+	return pos < body.Pos() || pos > body.End()
+}
+
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	id := lintutil.RootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

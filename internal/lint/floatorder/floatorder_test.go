@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/floatorder"
+)
+
+func TestFloatorder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", floatorder.Analyzer)
+}

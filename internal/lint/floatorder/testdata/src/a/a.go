@@ -1,0 +1,82 @@
+// Package a seeds floatorder violations: float folds whose order is
+// map iteration or goroutine completion, plus the sanctioned
+// sort-then-fold patterns.
+package a
+
+import "sort"
+
+func mapSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // maporder also fires here; floatorder pinpoints the fold
+		total += v // want `float accumulation into total over map iteration`
+	}
+	return total
+}
+
+func mapProduct(weights map[int]float64) float64 {
+	p := 1.0
+	for _, w := range weights {
+		p = p * w // want `float accumulation into p over map iteration`
+	}
+	return p
+}
+
+func mapFieldAccumulator(m map[int]float64) struct{ Total float64 } {
+	var acc struct{ Total float64 }
+	for _, v := range m {
+		if v > 0 {
+			acc.Total += v // want `float accumulation into acc\.Total over map iteration`
+		}
+	}
+	return acc
+}
+
+func channelSum(results <-chan float64) float64 {
+	var total float64
+	for r := range results {
+		total += r // want `float accumulation into total over channel \(goroutine completion order\) iteration`
+	}
+	return total
+}
+
+// Sanctioned: collect, sort by a deterministic key, then fold.
+func sortedFold(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// Integer accumulation commutes exactly; only floats are flagged.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// A per-iteration local is not an accumulator.
+func perIterationLocal(m map[string][]float64, sink func(float64)) {
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		sink(s)
+	}
+}
+
+func allowedFold(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v //detcheck:allow floatorder diagnostic-only estimate, never rendered into reports
+	}
+	return t
+}

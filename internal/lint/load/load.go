@@ -1,0 +1,169 @@
+// Package load turns Go packages on disk into type-checked
+// analysis-ready units without golang.org/x/tools: it shells out to
+// `go list -export -json -deps` for package discovery and compiled
+// export data (both work offline against the local build cache), parses
+// the listed sources, and type-checks them with the standard library's
+// gc-export-data importer. This is the same pipeline go/packages runs in
+// LoadTypes mode, reduced to what the detcheck driver needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked unit ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// TypeErrors holds any type-checking problems. Analysis of a
+	// package with type errors is best-effort; the driver decides
+	// whether they are fatal.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// List runs `go list -e -export -json -deps patterns...` in dir and
+// returns every listed package (targets and dependencies).
+func List(dir string, patterns ...string) ([]listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Importer builds a types.Importer that resolves import paths through
+// importMap (compiler-level aliasing, e.g. vendored std paths; may be
+// nil) and reads gc export data from the files named by packageFile.
+// This is the importer contract shared by the standalone driver (maps
+// from `go list -export`) and the `go vet -vettool` config (maps handed
+// over by the go command).
+func Importer(fset *token.FileSet, packageFile, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := packageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Check parses filenames and type-checks them as one package under
+// importPath, resolving imports through imp. Type errors are collected,
+// not fatal; parse errors are.
+func Check(fset *token.FileSet, importPath string, filenames []string, imp types.Importer) (*Package, error) {
+	pkg := &Package{ImportPath: importPath, Fset: fset}
+	if len(filenames) > 0 {
+		pkg.Dir = filepath.Dir(filenames[0])
+	}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := cfg.Check(importPath, fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// Load lists patterns in dir and returns a type-checked Package for
+// every matched target (dependencies are consumed for export data
+// only). Packages that fail to list are reported as errors.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	packageFile := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := Importer(fset, packageFile, nil)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := Check(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = p.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the test's working directory to the
+// enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestLoadSmoke proves the offline pipeline end to end: go list -export
+// discovers packages and build-cache export data, and the stdlib gc
+// importer type-checks against it with zero errors.
+func TestLoadSmoke(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "./internal/geom", "./internal/artifact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", p.ImportPath, p.TypeErrors)
+		}
+		if p.Types == nil || len(p.Files) == 0 {
+			t.Errorf("%s: incomplete package", p.ImportPath)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package maporder defines the detcheck analyzer that forbids
+// order-sensitive iteration over Go maps in result-path packages.
+//
+// Go randomizes map iteration order per run, so any map range whose
+// body's observable effect depends on visit order is a determinism bug
+// — the class fixed in PR 1 (engine buildState) and PR 2 (route tree
+// extraction). The analyzer flags every `range` over a map unless the
+// body is commutative (its effect is provably order-independent) or the
+// loop only collects elements into a slice that is sorted before use —
+// the repo's canonical sort-before-range idioms, now centralized in
+// orderutil.SortedKeys.
+//
+// The commutative whitelist: integer counter updates (`n++`, `n += i`),
+// per-key writes into another map, `delete`, boolean flag sets with
+// constant values, pure local temporaries, conditionals and nested
+// slice loops over only such statements, and element collection via
+// `s = append(s, ...)` provided the enclosing function sorts s after
+// the loop (a sort.* or slices.Sort* call naming s). Anything else —
+// early exits, float accumulation, appends that are never sorted, calls
+// with unknown effects — is reported.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer is the maporder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "forbid order-sensitive iteration over maps in result-path packages\n\n" +
+		"Map iteration order is randomized; a range over a map may only have\n" +
+		"commutative effects or collect into a slice that is sorted before use\n" +
+		"(prefer orderutil.SortedKeys).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		parents := lintutil.Parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !lintutil.IsMapType(pass.TypesInfo.TypeOf(rs.X)) {
+				return true
+			}
+			c := &classifier{pass: pass}
+			if !c.commutativeStmts(rs.Body.List) {
+				pass.Reportf(rs.For,
+					"range over map %s: iteration order is nondeterministic and the body is not commutative; iterate sorted keys (orderutil.SortedKeys) instead",
+					types.ExprString(rs.X))
+				return true
+			}
+			for _, sl := range c.collected {
+				if !sortedAfter(pass, parents, rs, sl) {
+					pass.Reportf(rs.For,
+						"range over map %s collects into %s but never sorts it: the slice inherits nondeterministic map order; sort it after the loop or use orderutil.SortedKeys",
+						types.ExprString(rs.X), sl.expr)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collected is one append target that must be sorted after the loop:
+// the root variable plus the rendered access path (`keys`,
+// `tree.Regions`), so `sort.Slice(tree.Regions, ...)` matches the right
+// field.
+type collected struct {
+	root *types.Var
+	expr string
+}
+
+// classifier decides whether a loop body is commutative, recording any
+// slices the body appends to (they must be sorted after the loop).
+type classifier struct {
+	pass      *analysis.Pass
+	collected []collected // append targets, deduplicated
+}
+
+func (c *classifier) commutativeStmts(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !c.commutativeStmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *classifier) commutativeStmt(s ast.Stmt) bool {
+	info := c.pass.TypesInfo
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return c.commutativeAssign(s)
+	case *ast.IncDecStmt:
+		// n++ / counts[k]-- on integers commutes.
+		return lintutil.IsInteger(info.TypeOf(s.X))
+	case *ast.ExprStmt:
+		// delete(m, k) commutes (distinct keys per iteration).
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if b, ok := lintutil.CalleeObject(info, call).(*types.Builtin); ok && b.Name() == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !c.commutativeStmt(s.Init) {
+			return false
+		}
+		if !c.commutativeStmts(s.Body.List) {
+			return false
+		}
+		if s.Else != nil {
+			return c.commutativeStmt(s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.commutativeStmts(s.List)
+	case *ast.BranchStmt:
+		// continue is order-neutral; break/goto/labels select elements
+		// by arrival order and are not.
+		return s.Tok == token.CONTINUE && s.Label == nil
+	case *ast.RangeStmt:
+		// A nested loop over a deterministic sequence of commutative
+		// statements commutes; a nested map/chan range does not get a
+		// free pass.
+		if lintutil.IsMapType(info.TypeOf(s.X)) || lintutil.IsChanType(info.TypeOf(s.X)) {
+			return false
+		}
+		return c.commutativeStmts(s.Body.List)
+	case *ast.ForStmt:
+		if s.Init != nil && !c.commutativeStmt(s.Init) {
+			return false
+		}
+		if s.Post != nil && !c.commutativeStmt(s.Post) {
+			return false
+		}
+		return c.commutativeStmts(s.Body.List)
+	case *ast.DeclStmt:
+		// Local var declarations with call-free initializers are pure
+		// temporaries.
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if hasCall(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (c *classifier) commutativeAssign(s *ast.AssignStmt) bool {
+	info := c.pass.TypesInfo
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Compound accumulation commutes for integers only — float
+		// addition is not associative, so float order changes bits
+		// (that is floatorder's dedicated diagnostic, but it breaks
+		// maporder's commutativity just the same).
+		return len(s.Lhs) == 1 && lintutil.IsInteger(info.TypeOf(s.Lhs[0])) && !hasCall(s.Rhs[0])
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return false
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	// m2[k] = v: per-key map writes commute (each key visited once).
+	if idx, ok := lhs.(*ast.IndexExpr); ok && s.Tok == token.ASSIGN {
+		return lintutil.IsMapType(info.TypeOf(idx.X)) && !hasCall(rhs)
+	}
+	// s = append(s, ...) — including selector targets like
+	// tree.Regions = append(tree.Regions, p): collection — commutative
+	// iff sorted later, which the caller checks via c.collected.
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if b, ok := lintutil.CalleeObject(info, call).(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+			lstr := types.ExprString(lhs)
+			if types.ExprString(call.Args[0]) == lstr {
+				if root := lintutil.RootIdent(lhs); root != nil {
+					if v, ok := objectOf(info, root).(*types.Var); ok {
+						c.addCollected(collected{root: v, expr: lstr})
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	lid, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if s.Tok == token.DEFINE {
+		// Pure local temporary.
+		return !hasCall(rhs)
+	}
+	// found = true / done = false: idempotent flag writes commute.
+	if lit, ok := rhs.(*ast.Ident); ok && lintutil.IsBool(info.TypeOf(lhs)) &&
+		(lit.Name == "true" || lit.Name == "false") {
+		return true
+	}
+	// x = x + i / x = x | i on integers.
+	if bin, ok := rhs.(*ast.BinaryExpr); ok && lintutil.IsInteger(info.TypeOf(lhs)) && !hasCall(rhs) {
+		switch bin.Op {
+		case token.ADD, token.OR, token.AND, token.XOR:
+			lobj := objectOf(info, lid)
+			if x, ok := bin.X.(*ast.Ident); ok && objectOf(info, x) == lobj {
+				return true
+			}
+			if y, ok := bin.Y.(*ast.Ident); ok && objectOf(info, y) == lobj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *classifier) addCollected(v collected) {
+	for _, have := range c.collected {
+		if have.root == v.root && have.expr == v.expr {
+			return
+		}
+	}
+	c.collected = append(c.collected, v)
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// hasCall reports whether e contains any function call — the classifier
+// treats calls as having unknown, possibly order-visible effects.
+// Conversions count too; that is deliberately conservative.
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sortFuncs lists the recognized sorting entry points per package.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether the enclosing function sorts slice sl at
+// some point after the range statement — a call to a sort.*/slices.*
+// sorting function whose arguments reference sl (matched by access
+// path, so `sort.Slice(tree.Regions, ...)` satisfies a collect into
+// tree.Regions and not one into tree.Edges).
+func sortedAfter(pass *analysis.Pass, parents map[ast.Node]ast.Node, rs *ast.RangeStmt, sl collected) bool {
+	body := lintutil.EnclosingFuncBody(parents, rs)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		obj := lintutil.CalleeObject(pass.TypesInfo, call)
+		pkgPath, name, ok := lintutil.FuncPkg(obj)
+		if !ok || !sortFuncs[pkgPath][name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprReferences(pass.TypesInfo, arg, sl) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprReferences reports whether arg contains a subexpression with sl's
+// exact access path, rooted at sl's variable.
+func exprReferences(info *types.Info, arg ast.Expr, sl collected) bool {
+	match := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if match {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok || types.ExprString(e) != sl.expr {
+			return true
+		}
+		if root := lintutil.RootIdent(e); root != nil && objectOf(info, root) == sl.root {
+			match = true
+			return false
+		}
+		return true
+	})
+	return match
+}

@@ -1,0 +1,157 @@
+// Package a seeds maporder violations and the sanctioned idioms.
+package a
+
+import (
+	"sort"
+
+	"repro/internal/orderutil"
+)
+
+func collectNeverSorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `collects into out but never sorts it`
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectThenSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectThenSortSlice(m map[int]float64) []int {
+	var ids []int
+	for id := range m {
+		if m[id] > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+type tree struct {
+	Regions []point
+	Edges   []point
+}
+
+type point struct{ X, Y int }
+
+// Selector append targets count as collection too, matched by access
+// path against the later sort call.
+func collectIntoFieldThenSorted(set map[point]bool) tree {
+	var t tree
+	for p := range set {
+		t.Regions = append(t.Regions, p)
+	}
+	sort.Slice(t.Regions, func(a, b int) bool {
+		pa, pb := t.Regions[a], t.Regions[b]
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return pa.X < pb.X
+	})
+	return t
+}
+
+func collectIntoFieldNeverSorted(set map[point]bool) tree {
+	var t tree
+	for p := range set { // want `collects into t\.Regions but never sorts it`
+		t.Regions = append(t.Regions, p)
+	}
+	return t
+}
+
+// Sorting a *different* field of the same struct does not satisfy the
+// collect — the match is by access path, not by root variable.
+func sortsWrongField(set map[point]bool) tree {
+	var t tree
+	for p := range set { // want `collects into t\.Regions but never sorts it`
+		t.Regions = append(t.Regions, p)
+	}
+	sort.Slice(t.Edges, func(a, b int) bool { return t.Edges[a].X < t.Edges[b].X })
+	return t
+}
+
+func helperIdiom(m map[string]int) int {
+	total := 0
+	for _, k := range orderutil.SortedKeys(m) {
+		total += m[k]
+	}
+	return total
+}
+
+func orderSensitiveBody(m map[string]int, sink func(string)) {
+	for k := range m { // want `iteration order is nondeterministic and the body is not commutative`
+		sink(k)
+	}
+}
+
+func earlyBreak(m map[string]int) (first string) {
+	for k := range m { // want `not commutative`
+		first = k
+		break
+	}
+	return first
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `not commutative`
+		sum += v
+	}
+	return sum
+}
+
+func commutativeCounting(m map[string]int, other map[string]bool) (n int, seen bool) {
+	counts := map[string]int{}
+	for k, v := range m {
+		n++
+		n += v
+		counts[k] = v
+		counts[k]++
+		if other[k] {
+			seen = true
+			continue
+		}
+		delete(other, k)
+	}
+	return n, seen
+}
+
+func commutativeNested(m map[string][]int) map[string]int {
+	totals := map[string]int{}
+	for k, vs := range m {
+		t := 0
+		for _, v := range vs {
+			t += v
+		}
+		totals[k] = t
+	}
+	return totals
+}
+
+func nestedMapRange(m map[string]map[string]int, sink func(string)) {
+	for k := range m { // want `not commutative`
+		for kk := range m[k] { // want `not commutative`
+			sink(k + kk)
+		}
+	}
+}
+
+func sliceRangeIsFine(s []string, sink func(string)) {
+	for _, v := range s {
+		sink(v)
+	}
+}
+
+func allowedWithJustification(m map[string]int, sink func(string)) {
+	for k := range m { //detcheck:allow maporder sink is a commutative metrics counter, order-blind by contract
+		sink(k)
+	}
+}

@@ -1,0 +1,226 @@
+// Package multichecker is the detcheck driver. One binary serves both
+// invocation styles:
+//
+//	detcheck ./...                  standalone: list, load, and analyze
+//	                                packages in the current module
+//	go vet -vettool=detcheck ./...  unitchecker: the go command plans the
+//	                                build and hands each unit to the tool
+//	                                through a JSON .cfg file
+//
+// The unitchecker half speaks the cmd/go vet-tool protocol without
+// golang.org/x/tools (unavailable offline; see internal/lint/analysis):
+// `-V=full` prints an executable-hash version line for the build cache,
+// `-flags` declares the (empty) supported flag set, and an argument
+// ending in .cfg selects per-unit mode, which must always write the
+// facts file named by VetxOutput — even though detcheck produces no
+// facts — because the go command caches on its existence. Diagnostics
+// go to stderr and exit with status 2, matching x/tools unitchecker so
+// `go vet` renders them natively.
+package multichecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+// Main runs the driver and exits the process.
+func Main() {
+	os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Run executes one driver invocation and returns its exit status:
+// 0 clean, 1 operational failure, 2 diagnostics reported.
+func Run(args []string, stdout, stderr io.Writer) int {
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		switch arg := args[i]; {
+		case arg == "-V=full" || arg == "--V=full":
+			return printVersion(stdout, stderr)
+		case arg == "-V" || arg == "--V":
+			// `-V` without =full prints the short form.
+			if i+1 < len(args) && args[i+1] == "full" {
+				return printVersion(stdout, stderr)
+			}
+			fmt.Fprintf(stdout, "%s version devel\n", progname())
+			return 0
+		case arg == "-flags" || arg == "--flags":
+			// Declare the supported analyzer flags; detcheck has none,
+			// so the go command passes only the .cfg path.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case arg == "-h" || arg == "-help" || arg == "--help":
+			usage(stderr)
+			return 0
+		case strings.HasSuffix(arg, ".cfg"):
+			return runUnit(arg, stderr)
+		case strings.HasPrefix(arg, "-"):
+			fmt.Fprintf(stderr, "%s: unknown flag %s\n", progname(), arg)
+			usage(stderr)
+			return 1
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
+	return runStandalone(patterns, stderr)
+}
+
+func progname() string { return filepath.Base(os.Args[0]) }
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `detcheck statically enforces the determinism contract (DESIGN.md §12).
+
+Usage:
+  detcheck [packages]             analyze packages (default ./...)
+  go vet -vettool=$(which detcheck) ./...
+
+Rules: maporder, wallclock, sealedmut, floatorder.
+Suppress per site with //detcheck:allow <rule> <justification>.
+`)
+}
+
+// printVersion implements `-V=full`: the go command hashes this line
+// into the vet cache key, so it must change whenever the tool binary
+// does — hence the executable digest.
+func printVersion(stdout, stderr io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname(), err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname(), err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s version devel comments-go-here buildID=%02x\n", progname(), h.Sum(nil))
+	return 0
+}
+
+// vetConfig is the JSON the go command writes for each vet unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgFile string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname(), err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "%s: parsing %s: %v\n", progname(), cfgFile, err)
+		return 1
+	}
+	// The facts file must exist for the go command to cache the unit,
+	// facts or not.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", progname(), err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// This unit is only needed for facts by its importers; detcheck
+		// has none to contribute.
+		return 0
+	}
+	scoped := false
+	for _, a := range lint.Analyzers {
+		if lint.Applies(a, cfg.ImportPath) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	fset := token.NewFileSet()
+	imp := load.Importer(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := load.Check(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname(), err)
+		return 1
+	}
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintln(stderr, e)
+		}
+		return 1
+	}
+	return report(pkg, stderr)
+}
+
+func runStandalone(patterns []string, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname(), err)
+		return 1
+	}
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname(), err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintln(stderr, e)
+			}
+			exit = 1
+			continue
+		}
+		if code := report(pkg, stderr); code > exit {
+			exit = code
+		}
+	}
+	return exit
+}
+
+func report(pkg *load.Package, stderr io.Writer) int {
+	diags, err := lint.RunPackage(pkg)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %s: %v\n", progname(), pkg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

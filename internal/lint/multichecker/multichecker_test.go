@@ -1,0 +1,175 @@
+package multichecker
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestFlagsHandshake(t *testing.T) {
+	var out, errw strings.Builder
+	if code := Run([]string{"-flags"}, &out, &errw); code != 0 {
+		t.Fatalf("-flags exit = %d, stderr %q", code, errw.String())
+	}
+	var flags []any
+	if err := json.Unmarshal([]byte(out.String()), &flags); err != nil {
+		t.Fatalf("-flags output %q is not a JSON list: %v", out.String(), err)
+	}
+	if len(flags) != 0 {
+		t.Fatalf("-flags = %q, want an empty list", out.String())
+	}
+}
+
+func TestVersionHandshake(t *testing.T) {
+	var out, errw strings.Builder
+	if code := Run([]string{"-V=full"}, &out, &errw); code != 0 {
+		t.Fatalf("-V=full exit = %d, stderr %q", code, errw.String())
+	}
+	// cmd/go keys its vet cache on this line; the digest must be the
+	// executable's, present and well-formed.
+	if !regexp.MustCompile(`^\S+ version \S+.* buildID=[0-9a-f]{64}\n$`).MatchString(out.String()) {
+		t.Fatalf("-V=full output %q does not match the go command's expected shape", out.String())
+	}
+}
+
+// unitCfg builds a vet .cfg for one synthetic source file presented
+// under a result-path import path.
+func unitCfg(t *testing.T, src string) (cfgPath, vetxPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "unit.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetxPath = filepath.Join(dir, "unit.vetx")
+	cfg := vetConfig{
+		ID:         "repro/internal/report",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "repro/internal/report",
+		GoFiles:    []string{goFile},
+		VetxOutput: vetxPath,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+func TestUnitModeReportsAndWritesVetx(t *testing.T) {
+	cfgPath, vetxPath := unitCfg(t, `package report
+
+func zz(m map[string]int, sink func(string)) {
+	for k := range m {
+		sink(k)
+	}
+}
+`)
+	var out, errw strings.Builder
+	code := Run([]string{cfgPath}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("unit exit = %d (stderr %q), want 2", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "maporder") {
+		t.Fatalf("stderr %q does not carry the maporder diagnostic", errw.String())
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Fatalf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestUnitModeCleanSource(t *testing.T) {
+	cfgPath, _ := unitCfg(t, `package report
+
+func zz(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+`)
+	var out, errw strings.Builder
+	if code := Run([]string{cfgPath}, &out, &errw); code != 0 {
+		t.Fatalf("unit exit = %d, stderr %q, want clean", code, errw.String())
+	}
+}
+
+func TestUnitModeVetxOnly(t *testing.T) {
+	cfgPath, vetxPath := unitCfg(t, `package report
+
+func zz(m map[string]int, sink func(string)) {
+	for k := range m {
+		sink(k)
+	}
+}
+`)
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.VetxOnly = true
+	data, err = json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	if code := Run([]string{cfgPath}, &out, &errw); code != 0 {
+		t.Fatalf("VetxOnly exit = %d (stderr %q), want 0 with no analysis", code, errw.String())
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Fatalf("VetxOnly must still write the facts file: %v", err)
+	}
+}
+
+func TestUnitModeOutOfScopePackage(t *testing.T) {
+	cfgPath, vetxPath := unitCfg(t, `package obs
+
+func zz(m map[string]int, sink func(string)) {
+	for k := range m {
+		sink(k)
+	}
+}
+`)
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same violating shape, but under an import path where only
+	// sealedmut applies — and it has nothing to say here.
+	cfg := vetConfig{}
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ID = "repro/internal/obs"
+	cfg.ImportPath = "repro/internal/obs"
+	data, err = json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	if code := Run([]string{cfgPath}, &out, &errw); code != 0 {
+		t.Fatalf("out-of-scope exit = %d, stderr %q, want 0", code, errw.String())
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Fatalf("facts file missing: %v", err)
+	}
+}

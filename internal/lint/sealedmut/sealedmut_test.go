@@ -1,0 +1,12 @@
+package sealedmut_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/sealedmut"
+)
+
+func TestSealedmut(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", sealedmut.Analyzer)
+}

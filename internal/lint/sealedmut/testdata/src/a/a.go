@@ -1,0 +1,80 @@
+// Package a seeds sealedmut violations: writes through data obtained
+// from the sealed artifact accessors, plus the sanctioned read/clone
+// patterns.
+package a
+
+import (
+	"repro/internal/artifact"
+	"repro/internal/route"
+)
+
+func directFieldWrite(a *artifact.Artifact) {
+	res, err := a.Result()
+	if err != nil {
+		return
+	}
+	res.Stats.Shards = 3 // want `write through sealed artifact data`
+}
+
+func sliceElementWrite(a *artifact.Artifact) {
+	res, _ := a.Result()
+	res.Usage.H[0] = 1.5 // want `write through sealed artifact data`
+}
+
+func derivedAliasWrite(a *artifact.Artifact) {
+	res, _ := a.Result()
+	trees := res.Trees
+	trees[0].Net = 7 // want `write through sealed artifact data`
+}
+
+func pointerAliasWrite(a *artifact.Artifact) {
+	res, _ := a.Result()
+	t := &res.Trees[0]
+	t.Net = 7 // want `write through sealed artifact data`
+}
+
+func drainOverwrite(a *artifact.Artifact) {
+	d := a.Drain()
+	*d = route.DrainState{} // want `write through sealed artifact data`
+}
+
+func incDecWrite(a *artifact.Artifact) {
+	res, _ := a.Result()
+	res.Stats.Reconciled++ // want `write through sealed artifact data`
+}
+
+func copyIntoSealed(a *artifact.Artifact, fresh []float64) {
+	res, _ := a.Result()
+	copy(res.Usage.V, fresh) // want `write through sealed artifact data`
+}
+
+func appendRebindsSealedField(a *artifact.Artifact) {
+	res, _ := a.Result()
+	res.Trees = append(res.Trees, route.Tree{}) // want `write through sealed artifact data`
+}
+
+// Sanctioned: reads, scalar/struct copies, rebinds, and clones.
+func readsAreFine(a *artifact.Artifact) int {
+	res, err := a.Result()
+	if err != nil {
+		return 0
+	}
+	n := len(res.Trees)
+	stats := res.Stats // struct copy: caller's own memory
+	stats.Shards = 99
+	res = nil // rebinding the variable is not a write through it
+	return n + stats.Shards
+}
+
+func cloneThenMutate(a *artifact.Artifact) []float64 {
+	res, _ := a.Result()
+	h := make([]float64, len(res.Usage.H))
+	copy(h, res.Usage.H)
+	h[0] = 2.0
+	return h
+}
+
+func allowedWrite(a *artifact.Artifact) {
+	res, _ := a.Result()
+	res.Stats.Shards = 1 //detcheck:allow sealedmut fixture-only probe of the runtime fingerprint check
+}

@@ -1,0 +1,61 @@
+// Package allowtest exercises the //detcheck:allow directive contract:
+// one-line scope (trailing = its own line, standalone = the next line
+// only), mandatory justifications, and known-rule validation.
+package allowtest
+
+func trailingAllowCoversItsLineOnly(m map[string]int, sink func(string)) {
+	for k := range m { //detcheck:allow maporder sink is order-blind by contract in this fixture
+		sink(k)
+	}
+	for k := range m { // want `not commutative`
+		sink(k)
+	}
+}
+
+func standaloneAllowCoversNextLineOnly(m map[string]int, sink func(string)) {
+	//detcheck:allow maporder the directive on its own line covers exactly the next line
+	for k := range m {
+		sink(k)
+	}
+	for k := range m { // want `not commutative`
+		sink(k)
+	}
+}
+
+func standaloneAllowDoesNotReachPastOneLine(m map[string]int, sink func(string)) {
+	//detcheck:allow maporder this covers only the blank line below, so the range is still flagged
+
+	for k := range m { // want `not commutative`
+		sink(k)
+	}
+}
+
+func missingJustification(m map[string]int, sink func(string)) {
+	//detcheck:allow maporder
+	// want-1 `requires a written justification`
+	for k := range m { // want `not commutative`
+		sink(k)
+	}
+}
+
+func missingEverything(m map[string]int, sink func(string)) {
+	//detcheck:allow
+	// want-1 `needs a rule name and a justification`
+	for k := range m { // want `not commutative`
+		sink(k)
+	}
+}
+
+func unknownRule(m map[string]int, sink func(string)) {
+	//detcheck:allow nosuchrule because this rule does not exist
+	// want-1 `names unknown rule "nosuchrule"`
+	for k := range m { // want `not commutative`
+		sink(k)
+	}
+}
+
+func wrongRuleDoesNotSuppress(m map[string]int, sink func(string)) {
+	for k := range m { //detcheck:allow wallclock wrong rule name, maporder still fires // want `not commutative`
+		sink(k)
+	}
+}

@@ -1,0 +1,43 @@
+// Package orderutil is the single home of the sort-before-range idiom:
+// deterministic iteration order over Go maps.
+//
+// Map iteration order is randomized per run, so any loop whose effect
+// is order-sensitive must iterate a sorted key slice instead of the map
+// itself — the determinism contract's oldest rule (DESIGN.md §5, §12),
+// now enforced statically by the maporder analyzer (internal/lint).
+// Centralizing the helper gives every package one idiom to reach for
+// and the analyzer one idiom to recognize:
+//
+//	for _, k := range orderutil.SortedKeys(m) {
+//		use(k, m[k])
+//	}
+package orderutil
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. The slice is freshly
+// allocated; callers may keep or mutate it.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// SortedKeysFunc returns m's keys ordered by less, for key types that
+// are not cmp.Ordered or need a domain order. less must define a strict
+// weak ordering; ties keep an unspecified order, so it should be total
+// whenever the iteration's effect is order-sensitive.
+func SortedKeysFunc[M ~map[K]V, K comparable, V any](m M, less func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, less)
+	return keys
+}

@@ -1,0 +1,45 @@
+package orderutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 3, "a": 1, "b": 2}
+	got := SortedKeys(m)
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+	if got := SortedKeys(map[int]bool{}); len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v, want empty", got)
+	}
+	ints := SortedKeys(map[int]string{9: "", -3: "", 0: ""})
+	if want := []int{-3, 0, 9}; !reflect.DeepEqual(ints, want) {
+		t.Fatalf("SortedKeys(ints) = %v, want %v", ints, want)
+	}
+}
+
+func TestSortedKeysIsACopy(t *testing.T) {
+	m := map[int]int{1: 1, 2: 2}
+	keys := SortedKeys(m)
+	keys[0] = 99
+	if _, ok := m[1]; !ok {
+		t.Fatal("mutating the returned slice must not touch the map")
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	type pt struct{ X, Y int }
+	m := map[pt]string{{2, 1}: "", {1, 2}: "", {1, 1}: ""}
+	got := SortedKeysFunc(m, func(a, b pt) int {
+		if a.X != b.X {
+			return a.X - b.X
+		}
+		return a.Y - b.Y
+	})
+	want := []pt{{1, 1}, {1, 2}, {2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeysFunc = %v, want %v", got, want)
+	}
+}

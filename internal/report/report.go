@@ -12,13 +12,14 @@
 package report
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/orderutil"
 )
 
 // Key identifies one experimental cell: a circuit at a sensitivity rate.
@@ -62,18 +63,13 @@ func (s *Set) Get(circuit string, rate float64, f core.Flow) *core.Outcome {
 // keys returns the cells sorted by circuit then rate.
 func (s *Set) keys() []Key {
 	s.mu.RLock()
-	out := make([]Key, 0, len(s.outcomes))
-	for k := range s.outcomes {
-		out = append(out, k)
-	}
-	s.mu.RUnlock()
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Circuit != out[b].Circuit {
-			return out[a].Circuit < out[b].Circuit
+	defer s.mu.RUnlock()
+	return orderutil.SortedKeysFunc(s.outcomes, func(a, b Key) int {
+		if a.Circuit != b.Circuit {
+			return cmp.Compare(a.Circuit, b.Circuit)
 		}
-		return out[a].Rate < out[b].Rate
+		return cmp.Compare(a.Rate, b.Rate)
 	})
-	return out
 }
 
 // circuits returns the distinct circuit names in order.

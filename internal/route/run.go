@@ -1,12 +1,13 @@
 package route
 
 import (
+	"cmp"
 	"container/heap"
 	"context"
-	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/orderutil"
 )
 
 // weightSlack is the tolerance for treating a recomputed edge weight as
@@ -275,11 +276,11 @@ func (r *Router) extractRange(trees []Tree, usage *grid.Usage, lo, hi int) {
 			vTouched[geom.Point{X: x, Y: y + 1}] = true
 		}
 		regionSet := make(map[geom.Point]bool, len(hTouched)+len(vTouched))
-		for p := range hTouched {
+		for p := range hTouched { //detcheck:allow maporder each key hits a distinct usage slot exactly once with +1.0, so the float adds commute bit-exactly
 			regionSet[p] = true
 			usage.H[r.g.Index(p)]++
 		}
-		for p := range vTouched {
+		for p := range vTouched { //detcheck:allow maporder each key hits a distinct usage slot exactly once with +1.0, so the float adds commute bit-exactly
 			regionSet[p] = true
 			usage.V[r.g.Index(p)]++
 		}
@@ -292,15 +293,11 @@ func (r *Router) extractRange(trees []Tree, usage *grid.Usage, lo, hi int) {
 		}
 		// Emit regions in scan order: downstream consumers iterate Regions,
 		// and map order would leak nondeterminism into reports.
-		tree.Regions = make([]geom.Point, 0, len(regionSet))
-		for p := range regionSet {
-			tree.Regions = append(tree.Regions, p)
-		}
-		sort.Slice(tree.Regions, func(a, b int) bool {
-			if tree.Regions[a].Y != tree.Regions[b].Y {
-				return tree.Regions[a].Y < tree.Regions[b].Y
+		tree.Regions = orderutil.SortedKeysFunc(regionSet, func(a, b geom.Point) int {
+			if a.Y != b.Y {
+				return cmp.Compare(a.Y, b.Y)
 			}
-			return tree.Regions[a].X < tree.Regions[b].X
+			return cmp.Compare(a.X, b.X)
 		})
 		trees[ni] = tree
 	}
@@ -374,7 +371,7 @@ func (t *Tree) IsTree() bool {
 		adj[e.To] = append(adj[e.To], e.From)
 	}
 	var start geom.Point
-	for p := range verts {
+	for p := range verts { //detcheck:allow maporder picks an arbitrary BFS start vertex; the connectivity verdict is the same from any start
 		start = p
 		break
 	}
